@@ -1,0 +1,38 @@
+"""Shared benchmark helpers.
+
+Each benchmark module regenerates one of the paper's figures/claims (see
+DESIGN.md's per-experiment index). Timing goes through pytest-benchmark;
+the derived tables — the actual figure contents — are printed through
+``report`` (bypassing capture so they appear in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+class Reporter:
+    """Prints experiment tables past pytest's output capture."""
+
+    def __init__(self, capsys) -> None:
+        self._capsys = capsys
+
+    def table(self, title: str, header: list[str], rows: list[list]) -> None:
+        widths = [
+            max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(header[i]))
+            for i in range(len(header))
+        ]
+        with self._capsys.disabled():
+            print(f"\n== {title} ==")
+            print("  " + "  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+            for row in rows:
+                print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+    def line(self, text: str) -> None:
+        with self._capsys.disabled():
+            print(text)
+
+
+@pytest.fixture
+def report(capsys) -> Reporter:
+    return Reporter(capsys)

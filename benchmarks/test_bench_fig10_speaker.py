@@ -1,0 +1,293 @@
+"""E6 / Figure 10 — speaker identification (and the audio browser).
+
+Regenerates the figure's content as measurable tables: automatic
+segmentation accuracy, per-segment speaker identification on a held-out
+conversation (the "colored regions"), a speaker confusion matrix over
+clean utterances, and word-spotting hit/false-alarm rates.
+"""
+
+import pytest
+
+from repro.media.audio import (
+    ConversationBuilder,
+    SpeakerSpotter,
+    WordSpotter,
+    segment_audio,
+    synth_word,
+)
+from repro.media.audio.segmentation import segment_accuracy
+from repro.media.audio.synth import DEFAULT_SPEAKERS, FILLERS, KEYWORDS
+
+ADAMS, BAKER, COSTA, CHILD = DEFAULT_SPEAKERS
+TRIO = (ADAMS, BAKER, COSTA)
+
+
+@pytest.fixture(scope="module")
+def speaker_spotter():
+    return SpeakerSpotter.enroll_default(TRIO, seed=1)
+
+
+@pytest.fixture(scope="module")
+def word_spotter():
+    return WordSpotter.train_default(KEYWORDS, TRIO, seed=2)
+
+
+@pytest.fixture(scope="module")
+def conversation():
+    builder = (
+        ConversationBuilder(seed=23)
+        .pause(0.4).say(ADAMS, "lesion").pause(0.3)
+        .say(BAKER, "filler_a").pause(0.25).say(BAKER, "urgent")
+        .music(1.0).pause(0.3)
+        .say(COSTA, "biopsy").pause(0.25).say(ADAMS, "normal").pause(0.4)
+    )
+    return builder.build()
+
+
+def test_fig10_segmentation(benchmark, report, conversation):
+    signal, truth = conversation
+    segments = benchmark(segment_audio, signal)
+    accuracy = segment_accuracy(segments, list(truth), signal.duration_s)
+    report.line(f"  segmentation frame accuracy: {accuracy:.1%} "
+                f"({len(segments)} segments over {signal.duration_s:.1f}s)")
+    assert accuracy > 0.75
+
+
+def test_segmentation_accuracy_distribution(benchmark, report):
+    """Aggregate segmentation accuracy over 10 random conversations."""
+    import numpy as np
+
+    words = list(KEYWORDS) + ["filler_a", "filler_b", "filler_c"]
+
+    def accuracy_for(seed: int) -> float:
+        import random
+
+        rng = random.Random(seed)
+        builder = ConversationBuilder(seed=seed)
+        builder.pause(rng.uniform(0.3, 0.6))
+        for _ in range(rng.randint(3, 6)):
+            kind = rng.random()
+            if kind < 0.65:
+                builder.say(rng.choice(TRIO), rng.choice(words))
+            elif kind < 0.85:
+                builder.music(rng.uniform(0.6, 1.2))
+            else:
+                builder.noise(rng.uniform(0.3, 0.6))
+            builder.pause(rng.uniform(0.25, 0.5))
+        signal, truth = builder.build()
+        segments = segment_audio(signal)
+        return segment_accuracy(segments, list(truth), signal.duration_s)
+
+    def sweep():
+        return [accuracy_for(seed) for seed in range(10)]
+
+    accuracies = benchmark.pedantic(sweep, rounds=1)
+    mean = float(np.mean(accuracies))
+    worst = float(np.min(accuracies))
+    report.line(
+        f"  segmentation over 10 random conversations: "
+        f"mean {mean:.1%}, worst {worst:.1%}"
+    )
+    assert mean > 0.75
+
+
+def test_fig10_speaker_regions(benchmark, report, speaker_spotter, conversation):
+    signal, truth = conversation
+    segments = segment_audio(signal)
+    results = benchmark.pedantic(
+        speaker_spotter.identify_segments, args=(signal, segments), rounds=3
+    )
+    truth_speech = [t for t in truth if t.label == "speech"]
+    rows = []
+    correct = 0
+    for segment, decision in results:
+        actual = next(
+            (t.speaker for t in truth_speech
+             if t.start_s < segment.end_s and segment.start_s < t.end_s),
+            None,
+        )
+        match = decision.speaker == actual
+        correct += match
+        rows.append(
+            [f"{segment.start_s:.2f}-{segment.end_s:.2f}s", decision.speaker or "-",
+             actual or "-", "ok" if match else "MISS"]
+        )
+    report.table("Fig 10: speaker regions on the consultation recording",
+                 ["segment", "identified", "truth", ""], rows)
+    assert correct >= len(rows) - 1
+    assert speaker_spotter.count_speakers(signal, segments) == 3
+
+
+def test_speaker_confusion_matrix(benchmark, report, speaker_spotter):
+    names = [s.name for s in TRIO] + [CHILD.name]
+    matrix = {name: {label: 0 for label in names + ["rejected"]} for name in names}
+    test_words = ("lesion", "urgent", "filler_b", "normal")
+
+    def fill_matrix():
+        for name in names:
+            for label in matrix[name]:
+                matrix[name][label] = 0
+        for speaker in TRIO + (CHILD,):
+            for word in test_words:
+                for seed in (901, 902):
+                    decision = speaker_spotter.identify(
+                        synth_word(word, speaker, seed=seed)
+                    )
+                    matrix[speaker.name][decision.speaker or "rejected"] += 1
+
+    benchmark.pedantic(fill_matrix, rounds=1)
+    rows = [
+        [actual] + [matrix[actual][label] for label in names[:3] + ["rejected"]]
+        for actual in names
+    ]
+    report.table(
+        "Speaker confusion (rows=actual, cols=identified; child is unenrolled)",
+        ["actual \\ id"] + names[:3] + ["rejected"],
+        rows,
+    )
+    for speaker in TRIO:
+        assert matrix[speaker.name][speaker.name] >= 6  # of 8
+    assert matrix[CHILD.name]["rejected"] >= 6
+
+
+def test_speaker_identify_speed(benchmark, speaker_spotter):
+    clip = synth_word("lesion", ADAMS, seed=31)
+    decision = benchmark(speaker_spotter.identify, clip)
+    assert decision.speaker == ADAMS.name
+
+
+def test_word_spotting_rates(benchmark, report, word_spotter):
+    counters = {"hits": 0, "misses": 0, "false_alarms": 0, "correct_rejections": 0}
+
+    def sweep():
+        for key in counters:
+            counters[key] = 0
+        for speaker in TRIO:
+            for word in KEYWORDS:
+                for seed in (701, 702):
+                    result = word_spotter.spot(synth_word(word, speaker, seed=seed))
+                    counters["hits" if result.keyword == word else "misses"] += 1
+            for filler in FILLERS:
+                for seed in (701, 702):
+                    result = word_spotter.spot(synth_word(filler, speaker, seed=seed))
+                    if result.keyword is None:
+                        counters["correct_rejections"] += 1
+                    else:
+                        counters["false_alarms"] += 1
+
+    benchmark.pedantic(sweep, rounds=1)
+    hits = counters["hits"]
+    misses = counters["misses"]
+    false_alarms = counters["false_alarms"]
+    correct_rejections = counters["correct_rejections"]
+    total_kw = hits + misses
+    total_garbage = false_alarms + correct_rejections
+    report.table(
+        "Word spotting over %s" % (KEYWORDS,),
+        ["measure", "count", "rate"],
+        [
+            ["keyword hits", f"{hits}/{total_kw}", f"{hits / total_kw:.1%}"],
+            ["false alarms", f"{false_alarms}/{total_garbage}", f"{false_alarms / total_garbage:.1%}"],
+        ],
+    )
+    assert hits / total_kw > 0.85
+    assert false_alarms / total_garbage < 0.15
+
+
+def test_word_spot_speed(benchmark, word_spotter):
+    clip = synth_word("biopsy", COSTA, seed=41)
+    result = benchmark(word_spotter.spot, clip)
+    assert result.keyword == "biopsy"
+
+
+def test_language_identification(benchmark, report):
+    """The browser's remaining question: "In what language are they
+    talking?" — accuracy over both synthetic languages, all speakers."""
+    from repro.media.audio import LanguageIdentifier
+    from repro.media.audio.synth import DEFAULT_SPEAKERS, LANGUAGES
+
+    identifier = LanguageIdentifier.train_default(
+        DEFAULT_SPEAKERS, utterances_per_language=16, seed=3
+    )
+    counters = {"correct": 0, "total": 0}
+
+    def sweep():
+        counters["correct"] = counters["total"] = 0
+        for language, vocabulary in LANGUAGES.items():
+            for word in sorted(vocabulary):
+                for speaker in DEFAULT_SPEAKERS:
+                    decision = identifier.identify(
+                        synth_word(word, speaker, seed=404, language=language)
+                    )
+                    counters["correct"] += decision.language == language
+                    counters["total"] += 1
+
+    benchmark.pedantic(sweep, rounds=1)
+    accuracy = counters["correct"] / counters["total"]
+    report.line(
+        f"  language identification: {counters['correct']}/{counters['total']} "
+        f"({accuracy:.1%}) across {len(LANGUAGES)} languages x "
+        f"{len(DEFAULT_SPEAKERS)} speakers"
+    )
+    assert accuracy >= 0.85
+
+
+@pytest.fixture(scope="module")
+def dtw_spotter():
+    from repro.media.audio.dtw import DTWWordSpotter
+    from repro.media.audio.synth import FILLERS as _FILLERS
+
+    examples = {
+        word: [
+            synth_word(word, speaker, seed=31 * i + hash(word) % 97)
+            for i in range(3)
+            for speaker in TRIO
+        ]
+        for word in KEYWORDS
+    }
+    garbage = [
+        synth_word(filler, speaker, seed=7 * i)
+        for i in range(3)
+        for speaker in TRIO
+        for filler in _FILLERS
+    ]
+    return DTWWordSpotter(KEYWORDS).train(examples, garbage)
+
+
+def test_ablation_hmm_vs_dtw(benchmark, report, word_spotter, dtw_spotter):
+    """Why CD-HMMs and not templates: per-clip cost scales with the
+    stored-template count for DTW but is constant for the trained HMMs."""
+    import time
+
+    def accuracy(spotter):
+        correct = total = 0
+        for speaker in TRIO:
+            for word in KEYWORDS + FILLERS:
+                result = spotter.spot(synth_word(word, speaker, seed=606))
+                expected = word if word in KEYWORDS else None
+                correct += result.keyword == expected
+                total += 1
+        return correct / total
+
+    def time_per_clip(spotter, clip):
+        start = time.perf_counter()
+        rounds = 5
+        for _ in range(rounds):
+            spotter.spot(clip)
+        return (time.perf_counter() - start) / rounds
+
+    clip = synth_word("urgent", BAKER, seed=77)
+    hmm_accuracy = benchmark.pedantic(accuracy, args=(word_spotter,), rounds=1)
+    dtw_accuracy = accuracy(dtw_spotter)
+    rows = [
+        ["CD-HMM (4 word + garbage models)", f"{hmm_accuracy:.1%}",
+         f"{time_per_clip(word_spotter, clip) * 1000:.1f} ms", "constant in training size"],
+        [f"DTW ({dtw_spotter.template_count} templates)", f"{dtw_accuracy:.1%}",
+         f"{time_per_clip(dtw_spotter, clip) * 1000:.1f} ms", "linear in stored templates"],
+    ]
+    report.table(
+        "Ablation: CD-HMM word spotting vs DTW template matching",
+        ["approach", "accuracy", "per clip", "matching cost"],
+        rows,
+    )
+    assert hmm_accuracy >= 0.9

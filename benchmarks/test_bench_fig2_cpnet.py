@@ -1,0 +1,54 @@
+"""E1 / Figure 2 — the CP-network and optimal-configuration queries.
+
+Regenerates the paper's worked example (the Fig. 2 network's optimal
+outcome and constrained completions) and measures the presentation
+module's core operation — "fast algorithms for optimal configuration
+determination" — across network sizes. The paper claims the top-down
+sweep is fast ("one can easily determine the preferentially optimal
+outcome"); the scaling series quantifies that on this implementation.
+"""
+
+import pytest
+
+from repro.cpnet import best_completion, figure2_network, optimal_outcome
+from repro.cpnet.examples import FIGURE2_OPTIMAL, random_dag_network
+
+
+def test_fig2_optimal_outcome(benchmark, report):
+    net = figure2_network()
+    result = benchmark(optimal_outcome, net)
+    assert result == FIGURE2_OPTIMAL
+    report.table(
+        "Figure 2 network: optimal outcome (paper's worked example)",
+        ["variable", "optimal value"],
+        [[k, v] for k, v in sorted(result.items())],
+    )
+
+
+def test_fig2_best_completion(benchmark):
+    net = figure2_network()
+    result = benchmark(best_completion, net, {"c3": "c3_1"})
+    assert result == {"c1": "c1_1", "c2": "c2_2", "c3": "c3_1", "c4": "c4_1", "c5": "c5_1"}
+
+
+@pytest.mark.parametrize("size", [10, 100, 500, 2000])
+def test_optimal_configuration_scaling(benchmark, report, size):
+    net = random_dag_network(size, domain_size=3, max_parents=2, seed=1)
+    outcome = benchmark(optimal_outcome, net)
+    assert len(outcome) == size
+    report.line(
+        f"  optimal configuration over {size} components: "
+        f"{benchmark.stats['mean'] * 1000:.3f} ms mean"
+    )
+
+
+@pytest.mark.parametrize("evidence_fraction", [0.1, 0.5])
+def test_constrained_completion_scaling(benchmark, evidence_fraction):
+    net = random_dag_network(500, domain_size=3, max_parents=2, seed=2)
+    names = net.variable_names
+    count = int(len(names) * evidence_fraction)
+    evidence = {
+        name: net.variable(name).domain[-1] for name in names[:count]
+    }
+    result = benchmark(best_completion, net, evidence)
+    assert all(result[name] == value for name, value in evidence.items())

@@ -1,0 +1,126 @@
+"""E2 / Figure 4 — the two server use cases.
+
+(a) *Retrieving a document*: a client joins, the server fetches the
+document from the database and computes its initial presentation.
+(b) *Updating the presentation*: a viewer choice arrives, the server
+recomputes every member's optimal presentation and produces the diffs.
+
+Measured against document size and room population — the paper's claim
+is that "the viewing physician should be provided with the lowest
+possible response time".
+"""
+
+import pytest
+
+from repro.db import Database, MultimediaObjectStore
+from repro.server import InteractionServer
+from repro.workloads import generate_record
+
+
+def make_server(tmp_path, sections):
+    db = Database(str(tmp_path / "db"))
+    store = MultimediaObjectStore(db)
+    store.store_document(
+        generate_record("bench", sections=sections, components_per_section=4, seed=3)
+    )
+    return InteractionServer(store), db
+
+
+@pytest.mark.parametrize("sections", [2, 8, 24])
+def test_fig4a_document_retrieval(benchmark, report, tmp_path, sections):
+    server, db = make_server(tmp_path, sections)
+    try:
+        def join_and_leave():
+            session = server.connect_session("viewer")
+            __, spec = server.join_room(session.session_id, "bench")
+            server.disconnect_session(session.session_id)
+            return spec
+
+        spec = benchmark(join_and_leave)
+        assert spec.outcome
+        report.line(
+            f"  Fig4(a) retrieval, {sections * 4 + sections} components: "
+            f"{benchmark.stats['mean'] * 1000:.2f} ms mean"
+        )
+    finally:
+        db.close()
+
+
+@pytest.mark.parametrize("members", [1, 8, 32])
+def test_fig4b_presentation_update(benchmark, report, tmp_path, members):
+    server, db = make_server(tmp_path, sections=6)
+    try:
+        sessions = []
+        for index in range(members):
+            session = server.connect_session(f"viewer-{index}")
+            server.join_room(session.session_id, "bench")
+            sessions.append(session)
+        component = "imaging0.item0"
+        toggle = iter(["flat", "icon"] * 100_000)
+
+        def choice_cycle():
+            return server.handle_choice(sessions[0].session_id, component, next(toggle))
+
+        updates = benchmark(choice_cycle)
+        assert updates
+        report.line(
+            f"  Fig4(b) choice->reconfig->diffs, {members} member(s): "
+            f"{benchmark.stats['mean'] * 1000:.2f} ms mean"
+        )
+    finally:
+        db.close()
+
+
+@pytest.mark.parametrize("members", [8, 32])
+def test_fig4b_personal_update_with_spec_cache(benchmark, report, tmp_path, members):
+    """Ablation: a *personal* choice only affects one member; the spec
+    cache turns the other members' recomputation into hits."""
+    server, db = make_server(tmp_path, sections=6)
+    try:
+        sessions = []
+        for index in range(members):
+            session = server.connect_session(f"viewer-{index}")
+            server.join_room(session.session_id, "bench")
+            sessions.append(session)
+        component = "imaging0.item0"
+        domain = server.room(server.room_ids[0]).document.component(component).domain
+        toggle = iter(list(domain[:2]) * 200_000)
+
+        def personal_choice():
+            return server.handle_choice(
+                sessions[0].session_id, component, next(toggle), scope="personal"
+            )
+
+        benchmark(personal_choice)
+        engine = server.room(server.room_ids[0]).engine
+        hit_rate = engine.cache_hits / max(engine.cache_hits + engine.cache_misses, 1)
+        report.line(
+            f"  personal choice, {members:2d} members: "
+            f"{benchmark.stats['mean'] * 1000:.2f} ms mean "
+            f"(spec cache hit rate {hit_rate:.0%})"
+        )
+        assert hit_rate > 0.5
+    finally:
+        db.close()
+
+
+def test_fig4b_operation_update(benchmark, tmp_path):
+    """The §4.2 operation path: new variable + propagation."""
+    server, db = make_server(tmp_path, sections=6)
+    try:
+        session = server.connect_session("viewer")
+        server.join_room(session.session_id, "bench")
+        counter = iter(range(10_000_000))
+
+        def operation():
+            return server.handle_operation(
+                session.session_id, "imaging0.item0", f"op{next(counter)}"
+            )
+
+        # Pedantic with few rounds: every round permanently grows the
+        # viewer's CP-net extension, so unbounded rounds would measure an
+        # ever-larger network instead of the operation itself.
+        updates = benchmark.pedantic(operation, rounds=30, iterations=1)
+        assert updates
+    finally:
+        db.close()

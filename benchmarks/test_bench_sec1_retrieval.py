@@ -1,0 +1,125 @@
+"""E10 / Section 1 — the similar-cases scenario.
+
+"Some of them would like to consider similar cases either from the same
+database or from other medical databases" — measured as: query-by-example
+latency and modality-ranking precision vs corpus size; fuzzy top-k
+evaluation throughput; spatial annotation queries vs mark count.
+"""
+
+import random
+
+import pytest
+
+from repro.db import Database, MultimediaObjectStore
+from repro.media.image import ct_phantom, ultrasound_phantom, xray_phantom
+from repro.retrieval import (
+    FuzzyQuery,
+    Quadtree,
+    SimilarImageIndex,
+    about,
+    at_least,
+    fuzzy_and,
+)
+
+GENERATORS = (
+    ("ct", lambda seed: ct_phantom(128, seed=seed)),
+    ("xray", lambda seed: xray_phantom(128, 128, seed=seed)),
+    ("us", lambda seed: ultrasound_phantom(128, seed=seed)),
+)
+
+
+def build_index(tmp_path, per_modality, tag):
+    db = Database(str(tmp_path / f"db-{tag}"))
+    index = SimilarImageIndex(MultimediaObjectStore(db))
+    for modality, generator in GENERATORS:
+        for seed in range(per_modality):
+            index.add_image(generator(seed), label=f"{modality}-{seed}")
+    return db, index
+
+
+@pytest.mark.parametrize("per_modality", [3, 10])
+def test_query_by_example(benchmark, report, tmp_path, per_modality):
+    db, index = build_index(tmp_path, per_modality, f"q{per_modality}")
+    try:
+        probe = ct_phantom(128, seed=777)
+        hits = benchmark(index.query, probe, 5)
+        top = hits[: min(3, per_modality)]
+        precision = sum(1 for hit in top if hit.label.startswith("ct-")) / len(top)
+        report.line(
+            f"  corpus {3 * per_modality:3d} studies: query "
+            f"{benchmark.stats['mean'] * 1000:.2f} ms, top-{len(top)} "
+            f"same-modality precision {precision:.0%}"
+        )
+        assert precision == 1.0
+    finally:
+        db.close()
+
+
+def test_descriptor_extraction(benchmark):
+    from repro.retrieval import image_descriptor
+
+    descriptor = benchmark(image_descriptor, ct_phantom(256, seed=1))
+    assert descriptor.shape[0] > 0
+
+
+def test_fuzzy_topk_throughput(benchmark, report):
+    rng = random.Random(5)
+    rows = [
+        {"id": i, "age": rng.randint(10, 95), "lesion_mm": rng.uniform(0, 20)}
+        for i in range(5000)
+    ]
+    query = FuzzyQuery(fuzzy_and(about("age", 60, 12), at_least("lesion_mm", 8, 4)))
+    results = benchmark(query.top_k, rows, 10)
+    assert len(results) == 10
+    scores = [r.score for r in results]
+    assert scores == sorted(scores, reverse=True)
+    rate = len(rows) / benchmark.stats["mean"]
+    report.line(f"  fuzzy top-10 over 5000 rows: {benchmark.stats['mean'] * 1000:.2f} ms "
+                f"({rate / 1000:.0f}k rows/s)")
+
+
+@pytest.mark.parametrize("corpus_size", [100, 1000])
+def test_article_search(benchmark, report, tmp_path, corpus_size):
+    """The "articles from databases on the web" lookup at corpus scale."""
+    from repro.retrieval.text import ArticleSearchEngine
+
+    rng = random.Random(11)
+    vocabulary = (
+        "lesion contrast imaging biopsy ultrasound pediatric cerebral "
+        "thoracic hepatic protocol outcome cohort follow up study trial "
+        "sensitivity specificity enhancement resolution telemedicine"
+    ).split()
+    db = Database(str(tmp_path / f"adb-{corpus_size}"))
+    try:
+        engine = ArticleSearchEngine(db)
+        for index in range(corpus_size):
+            body = " ".join(rng.choices(vocabulary, k=120))
+            engine.add_article(f"Article {index}", body, source="synthetic")
+        hits = benchmark(engine.search, "cerebral lesion +contrast -pediatric", 5)
+        report.line(
+            f"  {corpus_size:5d} articles ({engine.vocabulary_size} terms): "
+            f"search {benchmark.stats['mean'] * 1000:.2f} ms, {len(hits)} hits"
+        )
+    finally:
+        db.close()
+
+
+@pytest.mark.parametrize("marks", [100, 5000])
+def test_spatial_queries(benchmark, report, marks):
+    rng = random.Random(7)
+    tree = Quadtree(512, 512)
+    for i in range(marks):
+        tree.insert(rng.uniform(0, 512), rng.uniform(0, 512), i)
+
+    def zoom_and_click():
+        region = tree.query_rect(100, 100, 200, 200)
+        nearest = tree.nearest(333, 111)
+        return region, nearest
+
+    region, nearest = benchmark(zoom_and_click)
+    assert nearest is not None
+    report.line(
+        f"  {marks:5d} marks: region+nearest query "
+        f"{benchmark.stats['mean'] * 1e6:.0f} us "
+        f"({len(region)} marks in region)"
+    )

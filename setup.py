@@ -1,0 +1,6 @@
+"""Setup shim: enables ``pip install -e .`` in environments without the
+``wheel`` package (legacy editable installs need a setup.py)."""
+
+from setuptools import setup
+
+setup()

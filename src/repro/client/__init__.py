@@ -1,0 +1,14 @@
+"""Client modules (paper Section 3, component 1).
+
+"This module resides at the user site. It is responsible for displaying
+the multi-media documents as requested by the server." The headless
+equivalent here keeps a render tree (the window contents), a bounded
+buffer used as a cache for component payloads (§4.4), and issues the
+protocol messages a GUI would.
+"""
+
+from repro.client.buffer import BufferEntry, ClientBuffer
+from repro.client.client import ClientModule
+from repro.client.view import RenderTree
+
+__all__ = ["BufferEntry", "ClientBuffer", "ClientModule", "RenderTree"]

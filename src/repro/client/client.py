@@ -1,0 +1,222 @@
+"""The headless client module.
+
+Issues the protocol messages a GUI would (join, choices, operations,
+freezes, payload fetches) and maintains the render tree and payload
+buffer from what the server sends back. When attached to a simulated
+network it is event-driven through :meth:`receive`; response-time metrics
+come from the shared simulation clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ClientError
+from repro.client.buffer import ClientBuffer, entry_key
+from repro.client.view import RenderTree
+from repro.net.message import Message
+from repro.net.network import SimulatedNetwork
+from repro.server.protocol import MessageKind, encoded_size
+
+DEFAULT_BUFFER_BYTES = 64 * 1024 * 1024
+
+
+class ClientModule:
+    """One user's client, attachable to the simulated network."""
+
+    def __init__(
+        self,
+        viewer_id: str,
+        network: SimulatedNetwork | None = None,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        auto_fetch: bool = True,
+    ) -> None:
+        self.viewer_id = viewer_id
+        self.node_id = f"client-{viewer_id}"
+        self.network = network
+        self.buffer = ClientBuffer(buffer_bytes)
+        self.auto_fetch = auto_fetch
+        self.session_id: str | None = None
+        self.room_id: str | None = None
+        self.doc_id: str | None = None
+        self.render: RenderTree | None = None
+        self.sizes: dict[str, dict[str, int]] = {}
+        self.peer_events: list[dict[str, Any]] = []
+        self.broadcasts: list[dict[str, Any]] = []
+        self.errors: list[dict[str, Any]] = []
+        self.updates_received = 0
+        self.join_time: float | None = None
+        self.join_latency: float | None = None
+        self.response_times: list[float] = []
+        self._awaiting_response_since: float | None = None
+
+    # ----- requests ------------------------------------------------------------------
+
+    def join(self, doc_id: str) -> None:
+        self.join_time = self._now()
+        self._send(MessageKind.JOIN, {"viewer_id": self.viewer_id, "doc_id": doc_id})
+
+    def leave(self) -> None:
+        self._send(MessageKind.LEAVE, {"session_id": self._require_session()})
+        self.session_id = None
+        self.room_id = None
+
+    def choose(self, component: str, value: str, scope: str = "shared") -> None:
+        self._mark_action()
+        self._send(
+            MessageKind.CHOICE,
+            {
+                "session_id": self._require_session(),
+                "component": component,
+                "value": value,
+                "scope": scope,
+            },
+        )
+
+    def operate(self, component: str, operation: str, global_importance: bool = False) -> None:
+        self._mark_action()
+        self._send(
+            MessageKind.OPERATION,
+            {
+                "session_id": self._require_session(),
+                "component": component,
+                "operation": operation,
+                "global": global_importance,
+            },
+        )
+
+    def annotate(self, component: str, annotation: dict[str, Any]) -> None:
+        self._send(
+            MessageKind.ANNOTATE,
+            {
+                "session_id": self._require_session(),
+                "component": component,
+                "annotation": annotation,
+            },
+        )
+
+    def freeze(self, component: str) -> None:
+        self._send(
+            MessageKind.FREEZE,
+            {"session_id": self._require_session(), "component": component},
+        )
+
+    def release(self, component: str) -> None:
+        self._send(
+            MessageKind.RELEASE,
+            {"session_id": self._require_session(), "component": component},
+        )
+
+    def fetch_payload(self, component: str, value: str) -> None:
+        self._send(
+            MessageKind.FETCH_PAYLOAD,
+            {
+                "session_id": self._require_session(),
+                "component": component,
+                "value": value,
+            },
+        )
+
+    def _require_session(self) -> str:
+        if self.session_id is None:
+            raise ClientError(f"client {self.viewer_id!r} has no session (join first)")
+        return self.session_id
+
+    def _send(self, kind: str, payload: dict[str, Any]) -> None:
+        if self.network is None:
+            raise ClientError("client is not attached to a network")
+        self.network.send(
+            self.node_id, self.network.hub_id, kind,
+            payload=payload, size_bytes=encoded_size(payload),
+        )
+
+    def _now(self) -> float:
+        return self.network.clock.now if self.network is not None else 0.0
+
+    def _mark_action(self) -> None:
+        self._awaiting_response_since = self._now()
+
+    # ----- responses ------------------------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        payload = message.payload or {}
+        if message.kind == MessageKind.JOIN_ACK:
+            self._on_join_ack(payload)
+        elif message.kind == MessageKind.PRESENTATION_UPDATE:
+            self._on_presentation_update(payload)
+        elif message.kind == MessageKind.PAYLOAD:
+            self._on_payload(payload)
+        elif message.kind == MessageKind.PEER_EVENT:
+            self.peer_events.append(payload)
+        elif message.kind == MessageKind.BROADCAST:
+            self.broadcasts.append(payload)
+        elif message.kind == MessageKind.ERROR:
+            self.errors.append(payload)
+        else:
+            raise ClientError(f"unexpected message kind {message.kind!r}")
+
+    def _on_join_ack(self, payload: dict[str, Any]) -> None:
+        self.session_id = payload["session_id"]
+        self.room_id = payload["room_id"]
+        self.doc_id = payload["doc_id"]
+        structure = payload.get("structure", [])
+        self.render = RenderTree(self.doc_id, structure)
+        self.sizes = {
+            entry["path"]: dict(entry.get("sizes", {})) for entry in structure
+        }
+        self.render.apply_update(payload.get("outcome", {}))
+        if self.join_time is not None:
+            self.join_latency = self._now() - self.join_time
+        self._fetch_missing(payload.get("outcome", {}))
+
+    def _on_presentation_update(self, payload: dict[str, Any]) -> None:
+        if self.render is None:
+            raise ClientError("presentation update before join_ack")
+        self.updates_received += 1
+        changed = self.render.apply_update(payload.get("changes", {}))
+        if self._awaiting_response_since is not None:
+            self.response_times.append(self._now() - self._awaiting_response_since)
+            self._awaiting_response_since = None
+        self._fetch_missing(
+            {path: payload["changes"][path] for path in changed if path in payload["changes"]}
+        )
+
+    def _fetch_missing(self, changes: dict[str, str]) -> None:
+        """Request payload bytes for newly displayed presentation forms."""
+        if not self.auto_fetch or self.render is None:
+            return
+        for path, value in changes.items():
+            size = self.sizes.get(path, {}).get(value, 0)
+            if size <= 0:
+                self.render.mark_payload_ready(path)
+                continue
+            key = entry_key(path, value)
+            if self.buffer.lookup(key) is not None:
+                self.render.mark_payload_ready(path)
+                self.buffer.pin(key)
+                continue
+            self.fetch_payload(path, value)
+
+    def _on_payload(self, payload: dict[str, Any]) -> None:
+        component = payload.get("component")
+        value = payload.get("value")
+        size = payload.get("size", 0)
+        if component is None or value is None:
+            return  # raw media_ref payloads are consumed by media tooling
+        key = entry_key(component, value)
+        self.buffer.admit(key, size, pinned=False)
+        self.buffer.pin(key)
+        if self.render is not None and component in self.render:
+            if self.render.value_of(component) == value:
+                self.render.mark_payload_ready(component)
+
+    # ----- views -------------------------------------------------------------------------
+
+    def displayed(self) -> dict[str, str]:
+        if self.render is None:
+            return {}
+        return self.render.displayed()
+
+    def fully_rendered(self) -> bool:
+        """True when every visible component's payload has arrived."""
+        return self.render is not None and not self.render.pending_payloads()

@@ -1,0 +1,66 @@
+"""CP-network variables and their value domains.
+
+In the paper's domain a variable is a document component ``c_i`` and its
+domain ``D(c_i)`` is the set of alternative presentations of that component
+(e.g. ``flat``, ``segmented``, ``hidden``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import UnknownValueError
+from repro.util.validation import check_identifier
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A CP-network variable: a name plus a finite domain of values.
+
+    Parameters
+    ----------
+    name:
+        Symbolic variable name, unique within a network.
+    domain:
+        Ordered tuple of at least two distinct values. The order carries no
+        preference meaning — preferences live in the CPTs — but it makes
+        iteration deterministic.
+    description:
+        Optional human-readable note (e.g. which document component this is).
+    """
+
+    name: str
+    domain: tuple[str, ...]
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name, "variable name")
+        if not isinstance(self.domain, tuple):
+            object.__setattr__(self, "domain", tuple(self.domain))
+        if len(self.domain) < 2:
+            raise ValueError(
+                f"variable {self.name!r} needs a domain of >= 2 values, got {self.domain!r}"
+            )
+        if len(set(self.domain)) != len(self.domain):
+            raise ValueError(f"variable {self.name!r} has duplicate domain values: {self.domain!r}")
+        for value in self.domain:
+            if not isinstance(value, str) or not value:
+                raise ValueError(
+                    f"domain values must be non-empty strings, got {value!r} in {self.name!r}"
+                )
+
+    def check_value(self, value: str) -> str:
+        """Return *value* if it belongs to this variable's domain, else raise."""
+        if value not in self.domain:
+            raise UnknownValueError(
+                f"{value!r} is not in the domain of {self.name!r}: {self.domain!r}"
+            )
+        return value
+
+    @property
+    def is_binary(self) -> bool:
+        """True when the domain has exactly two values (e.g. shown/hidden)."""
+        return len(self.domain) == 2
+
+    def __str__(self) -> str:
+        return f"{self.name}{{{', '.join(self.domain)}}}"

@@ -1,0 +1,151 @@
+"""DB-API-flavoured connection facade (the paper's JDBC stand-in).
+
+"JDBC package provides remote interface from Java program to the database
+server ... not requiring any additional software" — here, the equivalent
+thin layer: :func:`connect` opens a database directory and returns a
+:class:`Connection` whose cursors execute the SQL dialect of
+:mod:`repro.db.sql`. Transaction control (commit/rollback) lives on the
+connection, exactly as in JDBC.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.errors import DatabaseError
+from repro.db.engine import Database
+from repro.db.sql import SqlResult, execute
+
+
+class Cursor:
+    """Executes statements and buffers SELECT results."""
+
+    def __init__(self, connection: "Connection") -> None:
+        self._connection = connection
+        self._result: SqlResult | None = None
+        self._fetch_pos = 0
+        self.arraysize = 1
+
+    @property
+    def rowcount(self) -> int:
+        """Rows returned (SELECT) or affected (DML); -1 before any execute."""
+        return self._result.rowcount if self._result is not None else -1
+
+    @property
+    def description(self) -> tuple[tuple[str, None], ...] | None:
+        """Column names of the last SELECT (DB-API shape, names only)."""
+        if self._result is None or not self._result.columns:
+            return None
+        return tuple((name, None) for name in self._result.columns)
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
+        db = self._connection._require_open()
+        self._result = execute(db, sql, params)
+        self._fetch_pos = 0
+        return self
+
+    def executemany(self, sql: str, seq_of_params: Sequence[Sequence[Any]]) -> "Cursor":
+        for params in seq_of_params:
+            self.execute(sql, params)
+        return self
+
+    def fetchone(self) -> dict[str, Any] | None:
+        if self._result is None:
+            raise DatabaseError("fetchone before execute")
+        if self._fetch_pos >= len(self._result.rows):
+            return None
+        row = self._result.rows[self._fetch_pos]
+        self._fetch_pos += 1
+        return row
+
+    def fetchmany(self, size: int | None = None) -> list[dict[str, Any]]:
+        size = size if size is not None else self.arraysize
+        rows = []
+        for _ in range(size):
+            row = self.fetchone()
+            if row is None:
+                break
+            rows.append(row)
+        return rows
+
+    def fetchall(self) -> list[dict[str, Any]]:
+        if self._result is None:
+            raise DatabaseError("fetchall before execute")
+        rows = self._result.rows[self._fetch_pos:]
+        self._fetch_pos = len(self._result.rows)
+        return rows
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def close(self) -> None:
+        self._result = None
+
+
+class Connection:
+    """A handle on an open database with JDBC-style transaction control.
+
+    With ``autocommit=True`` (default) each statement commits on its own;
+    otherwise a transaction is opened lazily at the first statement and
+    closed by :meth:`commit` / :meth:`rollback`.
+    """
+
+    def __init__(self, database: Database, autocommit: bool = True) -> None:
+        self._db: Database | None = database
+        self.autocommit = autocommit
+
+    def _require_open(self) -> Database:
+        if self._db is None:
+            raise DatabaseError("connection is closed")
+        if not self.autocommit and not self._db.in_transaction:
+            self._db.begin()
+        return self._db
+
+    @property
+    def database(self) -> Database:
+        if self._db is None:
+            raise DatabaseError("connection is closed")
+        return self._db
+
+    def cursor(self) -> Cursor:
+        self._require_open()
+        return Cursor(self)
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Cursor:
+        """Shortcut: make a cursor and execute on it."""
+        return self.cursor().execute(sql, params)
+
+    def commit(self) -> None:
+        db = self.database
+        if db.in_transaction:
+            db.commit()
+
+    def rollback(self) -> None:
+        db = self.database
+        if db.in_transaction:
+            db.rollback()
+
+    def close(self) -> None:
+        if self._db is not None:
+            self._db.close()
+            self._db = None
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type: object, *rest: object) -> None:
+        if self._db is not None and self._db.in_transaction:
+            if exc_type is None:
+                self._db.commit()
+            else:
+                self._db.rollback()
+        self.close()
+
+
+def connect(directory: str, autocommit: bool = True) -> Connection:
+    """Open (creating if needed) the database at *directory*."""
+    return Connection(Database(directory), autocommit=autocommit)

@@ -1,0 +1,173 @@
+"""Write-ahead journal: atomic commit/rollback and crash recovery.
+
+Every mutation is appended to the journal *before* being applied to the
+heap. Records are JSON lines, each protected by a CRC32 suffix; replay
+stops at the first corrupt/torn line. Only operations between a ``begin``
+and its ``commit`` take effect on recovery — an uncommitted tail is
+discarded, which gives transaction atomicity across crashes.
+
+A ``checkpoint`` record marks that the engine snapshotted all tables;
+replay starts from the latest checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import TransactionError
+
+BEGIN = "begin"
+COMMIT = "commit"
+ROLLBACK = "rollback"
+INSERT = "insert"
+UPDATE = "update"
+DELETE = "delete"
+CREATE_TABLE = "create_table"
+DROP_TABLE = "drop_table"
+CREATE_INDEX = "create_index"
+CHECKPOINT = "checkpoint"
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journal entry."""
+
+    op: str
+    txn: int
+    data: dict[str, Any]
+
+    def to_line(self) -> bytes:
+        body = json.dumps(
+            {"op": self.op, "txn": self.txn, "data": self.data},
+            separators=(",", ":"),
+            sort_keys=True,
+        ).encode("utf-8")
+        crc = zlib.crc32(body)
+        return body + b"|" + f"{crc:08x}".encode("ascii") + b"\n"
+
+    @classmethod
+    def from_line(cls, line: bytes) -> "JournalRecord | None":
+        """Parse a journal line; None when torn or corrupt."""
+        line = line.rstrip(b"\n")
+        body, sep, crc_hex = line.rpartition(b"|")
+        if not sep or len(crc_hex) != 8:
+            return None
+        try:
+            if zlib.crc32(body) != int(crc_hex, 16):
+                return None
+            payload = json.loads(body)
+            return cls(op=payload["op"], txn=payload["txn"], data=payload["data"])
+        except (ValueError, KeyError, UnicodeDecodeError):
+            return None
+
+
+class Journal:
+    """Append-only journal file with transactional framing."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file = open(path, "ab")
+        self._txn_counter = 0
+        self._open_txn: int | None = None
+        # Continue transaction numbering after what's already on disk.
+        for record in self.replay():
+            self._txn_counter = max(self._txn_counter, record.txn)
+
+    # ----- transactions ----------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._open_txn is not None
+
+    def begin(self) -> int:
+        if self._open_txn is not None:
+            raise TransactionError("a transaction is already open")
+        self._txn_counter += 1
+        self._open_txn = self._txn_counter
+        self._append(JournalRecord(BEGIN, self._open_txn, {}))
+        return self._open_txn
+
+    def commit(self) -> None:
+        if self._open_txn is None:
+            raise TransactionError("no open transaction to commit")
+        self._append(JournalRecord(COMMIT, self._open_txn, {}), sync=True)
+        self._open_txn = None
+
+    def rollback(self) -> None:
+        if self._open_txn is None:
+            raise TransactionError("no open transaction to roll back")
+        self._append(JournalRecord(ROLLBACK, self._open_txn, {}), sync=True)
+        self._open_txn = None
+
+    def log(self, op: str, data: dict[str, Any]) -> None:
+        """Record a mutation inside the open transaction."""
+        if self._open_txn is None:
+            raise TransactionError(f"operation {op!r} outside a transaction")
+        self._append(JournalRecord(op, self._open_txn, data))
+
+    def checkpoint(self) -> None:
+        """Mark that all state up to here is snapshotted."""
+        if self._open_txn is not None:
+            raise TransactionError("cannot checkpoint inside a transaction")
+        self._append(JournalRecord(CHECKPOINT, 0, {}), sync=True)
+
+    def _append(self, record: JournalRecord, sync: bool = False) -> None:
+        self._file.write(record.to_line())
+        self._file.flush()
+        if sync:
+            os.fsync(self._file.fileno())
+
+    # ----- recovery ----------------------------------------------------------------
+
+    def replay(self) -> Iterator[JournalRecord]:
+        """Yield valid records from disk, stopping at the first torn line."""
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as file:
+            for line in file:
+                record = JournalRecord.from_line(line)
+                if record is None:
+                    return
+                yield record
+
+    def committed_operations(self) -> list[JournalRecord]:
+        """Mutation records of committed transactions after the last checkpoint."""
+        committed: list[JournalRecord] = []
+        pending: dict[int, list[JournalRecord]] = {}
+        for record in self.replay():
+            if record.op == CHECKPOINT:
+                committed.clear()
+                pending.clear()
+            elif record.op == BEGIN:
+                pending[record.txn] = []
+            elif record.op == COMMIT:
+                committed.extend(pending.pop(record.txn, []))
+            elif record.op == ROLLBACK:
+                pending.pop(record.txn, None)
+            else:
+                if record.txn in pending:
+                    pending[record.txn].append(record)
+        return committed
+
+    def truncate(self) -> None:
+        """Erase the journal (after a successful snapshot)."""
+        if self._open_txn is not None:
+            raise TransactionError("cannot truncate inside a transaction")
+        self._file.close()
+        self._file = open(self.path, "wb")
+        self._file.flush()
+
+    @property
+    def size_bytes(self) -> int:
+        """Current size of the journal file."""
+        self._file.flush()
+        return os.path.getsize(self.path)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()

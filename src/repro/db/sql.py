@@ -1,0 +1,632 @@
+"""A small SQL dialect over the embedded engine.
+
+The paper's interaction server talks JDBC to Oracle; this module is the
+corresponding query language surface. Supported statements::
+
+    CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT NOT NULL, ...)
+    DROP TABLE t
+    CREATE [UNIQUE] INDEX ON t (col) [USING HASH|ORDERED]
+    INSERT INTO t (a, b) VALUES (1, 'x')
+    SELECT a, b FROM t [WHERE expr] [ORDER BY col [ASC|DESC]] [LIMIT n]
+    SELECT COUNT(*), AVG(age) FROM t [WHERE expr]
+    SELECT ward, COUNT(*) FROM t GROUP BY ward
+    SELECT p.name, o.total FROM patients p JOIN orders o ON p.id = o.pid
+    UPDATE t SET a = 1, b = 'x' [WHERE expr]
+    DELETE FROM t [WHERE expr]
+
+WHERE expressions support ``= != <> < <= > >=``, ``LIKE``, ``IN (...)``,
+``BETWEEN x AND y``, ``IS [NOT] NULL``, ``AND/OR/NOT`` and parentheses.
+``?`` placeholders are bound from the parameter sequence. Aggregates are
+``COUNT(*)/COUNT(col)/SUM/AVG/MIN/MAX``; joins are two-table equi-joins
+(hash join) with alias-qualified columns.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import DatabaseError
+from repro.db.engine import Database
+from repro.db.query import (
+    ALL,
+    And,
+    Between,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    IsNull,
+    Le,
+    Like,
+    Lt,
+    Ne,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.db.schema import Column, TableSchema
+from repro.db.types import type_by_name
+
+
+class SqlError(DatabaseError):
+    """Syntax or binding error in a SQL statement."""
+
+
+# ----- tokenizer ----------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>-?\d+\.\d+|-?\d+)
+      | (?P<string>'(?:[^']|'')*')
+      | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+      | (?P<op><=|>=|<>|!=|=|<|>|\(|\)|,|\*|\?)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "CREATE", "TABLE", "DROP", "INDEX", "UNIQUE", "ON", "USING", "INSERT",
+    "INTO", "VALUES", "SELECT", "FROM", "WHERE", "ORDER", "BY", "ASC",
+    "DESC", "LIMIT", "UPDATE", "SET", "DELETE", "AND", "OR", "NOT", "IN",
+    "LIKE", "BETWEEN", "IS", "NULL", "TRUE", "FALSE", "PRIMARY", "KEY",
+    "AUTOINCREMENT", "GROUP", "JOIN", "AS",
+}
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'number' | 'string' | 'ident' | 'keyword' | 'op' | 'end'
+    text: str
+
+
+def tokenize(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            rest = sql[pos:].strip()
+            if not rest:
+                break
+            raise SqlError(f"cannot tokenize SQL at: {rest[:30]!r}")
+        pos = match.end()
+        if match.lastgroup == "ident":
+            text = match.group("ident")
+            if text.upper() in _KEYWORDS:
+                tokens.append(Token("keyword", text.upper()))
+            else:
+                tokens.append(Token("ident", text))
+        elif match.lastgroup is not None:
+            tokens.append(Token(match.lastgroup, match.group(match.lastgroup)))
+    tokens.append(Token("end", ""))
+    return tokens
+
+
+# ----- parser ----------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], params: Sequence[Any]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._params = list(params)
+        self._param_index = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._accept(kind, text)
+        if token is None:
+            want = text or kind
+            raise SqlError(f"expected {want!r}, got {self._peek().text!r}")
+        return token
+
+    def _keyword(self, word: str) -> bool:
+        return self._accept("keyword", word) is not None
+
+    def _expect_keyword(self, word: str) -> None:
+        self._expect("keyword", word)
+
+    def _ident(self) -> str:
+        return self._expect("ident").text
+
+    def done(self) -> bool:
+        return self._peek().kind == "end"
+
+    # -- literals ----------------------------------------------------------------
+
+    def _literal(self) -> Any:
+        token = self._peek()
+        if token.kind == "number":
+            self._next()
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "string":
+            self._next()
+            return token.text[1:-1].replace("''", "'")
+        if token.kind == "op" and token.text == "?":
+            self._next()
+            if self._param_index >= len(self._params):
+                raise SqlError("not enough parameters for '?' placeholders")
+            value = self._params[self._param_index]
+            self._param_index += 1
+            return value
+        if token.kind == "keyword" and token.text in ("NULL", "TRUE", "FALSE"):
+            self._next()
+            return {"NULL": None, "TRUE": True, "FALSE": False}[token.text]
+        raise SqlError(f"expected a literal, got {token.text!r}")
+
+    def check_params_consumed(self) -> None:
+        if self._param_index != len(self._params):
+            raise SqlError(
+                f"{len(self._params)} parameters supplied but only "
+                f"{self._param_index} placeholders bound"
+            )
+
+    # -- WHERE expressions -----------------------------------------------------------
+
+    def parse_where(self) -> Predicate:
+        return self._or_expr()
+
+    def _or_expr(self) -> Predicate:
+        left = self._and_expr()
+        while self._keyword("OR"):
+            left = Or(left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Predicate:
+        left = self._not_expr()
+        while self._keyword("AND"):
+            left = And(left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Predicate:
+        if self._keyword("NOT"):
+            return Not(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Predicate:
+        if self._accept("op", "("):
+            inner = self._or_expr()
+            self._expect("op", ")")
+            return inner
+        column = self._ident()
+        if self._keyword("IS"):
+            negated = self._keyword("NOT")
+            self._expect_keyword("NULL")
+            return Not(IsNull(column)) if negated else IsNull(column)
+        negated = self._keyword("NOT")
+        if self._keyword("LIKE"):
+            pattern = self._literal()
+            if not isinstance(pattern, str):
+                raise SqlError("LIKE needs a string pattern")
+            predicate: Predicate = Like(column, pattern)
+        elif self._keyword("IN"):
+            self._expect("op", "(")
+            values = [self._literal()]
+            while self._accept("op", ","):
+                values.append(self._literal())
+            self._expect("op", ")")
+            predicate = In(column, values)
+        elif self._keyword("BETWEEN"):
+            low = self._literal()
+            self._expect_keyword("AND")
+            high = self._literal()
+            predicate = Between(column, low, high)
+        else:
+            if negated:
+                raise SqlError("NOT must precede LIKE/IN/BETWEEN here")
+            op = self._expect("op")
+            value = self._literal()
+            ops = {"=": Eq, "!=": Ne, "<>": Ne, "<": Lt, "<=": Le, ">": Gt, ">=": Ge}
+            if op.text not in ops:
+                raise SqlError(f"unknown comparison operator {op.text!r}")
+            return ops[op.text](column, value)
+        return Not(predicate) if negated else predicate
+
+    # -- column definitions -------------------------------------------------------------
+
+    def parse_column_def(self) -> Column:
+        name = self._ident()
+        type_token = self._peek()
+        if type_token.kind not in ("ident", "keyword"):
+            raise SqlError(f"expected a type after column {name!r}")
+        self._next()
+        column_type = type_by_name(type_token.text)
+        primary = False
+        autoinc = False
+        nullable = True
+        while True:
+            if self._keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                primary = True
+            elif self._keyword("AUTOINCREMENT"):
+                autoinc = True
+            elif self._keyword("NOT"):
+                self._expect_keyword("NULL")
+                nullable = False
+            else:
+                break
+        return Column(
+            name=name,
+            type=column_type,
+            nullable=nullable and not primary,
+            primary_key=primary,
+            autoincrement=autoinc,
+        )
+
+
+# ----- executor -----------------------------------------------------------------------
+
+
+def execute(db: Database, sql: str, params: Sequence[Any] = ()) -> "SqlResult":
+    """Parse and run one SQL statement against *db*."""
+    parser = _Parser(tokenize(sql), params)
+    token = parser._peek()
+    if token.kind != "keyword":
+        raise SqlError(f"statement must start with a keyword, got {token.text!r}")
+    handlers = {
+        "CREATE": _execute_create,
+        "DROP": _execute_drop,
+        "INSERT": _execute_insert,
+        "SELECT": _execute_select,
+        "UPDATE": _execute_update,
+        "DELETE": _execute_delete,
+    }
+    handler = handlers.get(token.text)
+    if handler is None:
+        raise SqlError(f"unsupported statement {token.text!r}")
+    result = handler(db, parser)
+    if not parser.done():
+        raise SqlError(f"trailing input after statement: {parser._peek().text!r}")
+    parser.check_params_consumed()
+    return result
+
+
+@dataclass
+class SqlResult:
+    """Result of one statement: rows for SELECT, rowcount for DML/DDL."""
+
+    rows: list[dict[str, Any]]
+    rowcount: int
+    columns: tuple[str, ...] = ()
+
+
+def _execute_create(db: Database, p: _Parser) -> SqlResult:
+    p._expect_keyword("CREATE")
+    unique = p._keyword("UNIQUE")
+    if p._keyword("TABLE"):
+        if unique:
+            raise SqlError("UNIQUE applies to indexes, not tables")
+        name = p._ident()
+        p._expect("op", "(")
+        columns = [p.parse_column_def()]
+        while p._accept("op", ","):
+            columns.append(p.parse_column_def())
+        p._expect("op", ")")
+        db.create_table(TableSchema(name=name, columns=tuple(columns)))
+        return SqlResult(rows=[], rowcount=0)
+    if p._keyword("INDEX"):
+        p._expect_keyword("ON")
+        table = p._ident()
+        p._expect("op", "(")
+        column = p._ident()
+        p._expect("op", ")")
+        kind = "hash"
+        if p._keyword("USING"):
+            kind = p._ident().lower() if p._peek().kind == "ident" else p._next().text.lower()
+        db.create_index(table, column, kind=kind, unique=unique)
+        return SqlResult(rows=[], rowcount=0)
+    raise SqlError("expected TABLE or INDEX after CREATE")
+
+
+def _execute_drop(db: Database, p: _Parser) -> SqlResult:
+    p._expect_keyword("DROP")
+    p._expect_keyword("TABLE")
+    db.drop_table(p._ident())
+    return SqlResult(rows=[], rowcount=0)
+
+
+def _execute_insert(db: Database, p: _Parser) -> SqlResult:
+    p._expect_keyword("INSERT")
+    p._expect_keyword("INTO")
+    table = p._ident()
+    p._expect("op", "(")
+    columns = [p._ident()]
+    while p._accept("op", ","):
+        columns.append(p._ident())
+    p._expect("op", ")")
+    p._expect_keyword("VALUES")
+    p._expect("op", "(")
+    values = [p._literal()]
+    while p._accept("op", ","):
+        values.append(p._literal())
+    p._expect("op", ")")
+    if len(columns) != len(values):
+        raise SqlError(f"{len(columns)} columns but {len(values)} values")
+    stored = db.insert(table, dict(zip(columns, values)))
+    return SqlResult(rows=[stored], rowcount=1)
+
+
+@dataclass(frozen=True)
+class _SelectItem:
+    """One projection entry: a column or an aggregate call."""
+
+    kind: str                 # 'column' | 'aggregate'
+    column: str | None = None # column name ('*' allowed for COUNT)
+    func: str | None = None
+
+    @property
+    def label(self) -> str:
+        if self.kind == "aggregate":
+            return f"{self.func}({self.column})"
+        return self.column or "?"
+
+
+def _parse_select_item(p: _Parser) -> _SelectItem:
+    token = p._peek()
+    if token.kind == "ident" and token.text.upper() in _AGGREGATES:
+        saved = p._pos
+        func = p._next().text.upper()
+        if p._accept("op", "("):
+            if p._accept("op", "*"):
+                column = "*"
+            else:
+                column = p._ident()
+            p._expect("op", ")")
+            if column == "*" and func != "COUNT":
+                raise SqlError(f"{func}(*) is not supported; name a column")
+            return _SelectItem(kind="aggregate", column=column, func=func)
+        p._pos = saved  # a plain column that happens to be named like a function
+    return _SelectItem(kind="column", column=p._ident())
+
+
+def _aggregate(func: str, values: list) -> object:
+    present = [v for v in values if v is not None]
+    if func == "COUNT":
+        return len(present)
+    if not present:
+        return None
+    if func == "SUM":
+        return sum(present)
+    if func == "AVG":
+        return sum(present) / len(present)
+    if func == "MIN":
+        return min(present)
+    if func == "MAX":
+        return max(present)
+    raise SqlError(f"unknown aggregate {func!r}")  # pragma: no cover
+
+
+def _execute_select(db: Database, p: _Parser) -> SqlResult:
+    p._expect_keyword("SELECT")
+    star = p._accept("op", "*") is not None
+    items: list[_SelectItem] = []
+    if not star:
+        items.append(_parse_select_item(p))
+        while p._accept("op", ","):
+            items.append(_parse_select_item(p))
+
+    # FROM table [AS] [alias] [JOIN table2 [AS] [alias2] ON a.c = b.c]
+    p._expect_keyword("FROM")
+    table_name = p._ident()
+    alias = table_name
+    if p._keyword("AS") or p._peek().kind == "ident":
+        alias = p._ident()
+    join_table = join_alias = None
+    join_left = join_right = None
+    if p._keyword("JOIN"):
+        join_table = p._ident()
+        join_alias = join_table
+        if p._keyword("AS") or p._peek().kind == "ident":
+            join_alias = p._ident()
+        p._expect_keyword("ON")
+        join_left = p._ident()
+        p._expect("op", "=")
+        join_right = p._ident()
+
+    predicate: Predicate = ALL
+    if p._keyword("WHERE"):
+        predicate = p.parse_where()
+    group_by: list[str] = []
+    if p._keyword("GROUP"):
+        p._expect_keyword("BY")
+        group_by.append(p._ident())
+        while p._accept("op", ","):
+            group_by.append(p._ident())
+    order_by: str | None = None
+    descending = False
+    if p._keyword("ORDER"):
+        p._expect_keyword("BY")
+        order_by = p._ident()
+        if p._keyword("DESC"):
+            descending = True
+        else:
+            p._keyword("ASC")
+    limit: int | None = None
+    if p._keyword("LIMIT"):
+        value = p._literal()
+        if not isinstance(value, int) or value < 0:
+            raise SqlError("LIMIT needs a non-negative integer")
+        limit = value
+
+    # ----- build the working row set ------------------------------------
+    if join_table is None:
+        rows = db.select(table_name, predicate)  # index-routed access path
+        all_columns = db.table(table_name).schema.column_names
+    else:
+        rows = _hash_join(
+            db, table_name, alias, join_table, join_alias, join_left, join_right
+        )
+        all_columns = tuple(
+            [f"{alias}.{c}" for c in db.table(table_name).schema.column_names]
+            + [f"{join_alias}.{c}" for c in db.table(join_table).schema.column_names]
+        )
+        rows = [row for row in rows if predicate.matches(row)]
+
+    # ----- aggregation / projection ---------------------------------------
+    has_aggregates = any(item.kind == "aggregate" for item in items)
+    if has_aggregates or group_by:
+        for item in items:
+            if item.kind == "column" and item.column not in group_by:
+                raise SqlError(
+                    f"column {item.column!r} must appear in GROUP BY when "
+                    "aggregates are used"
+                )
+        if not items:
+            raise SqlError("GROUP BY needs explicit select items")
+        for column in group_by:
+            _check_column(column, all_columns)
+        groups: dict[tuple, list[dict]] = {}
+        for row in rows:
+            key = tuple(row.get(col) for col in group_by)
+            groups.setdefault(key, []).append(row)
+        if not group_by:
+            groups = {(): rows}
+        out_rows = []
+        for key, members in sorted(groups.items(), key=lambda kv: tuple(map(repr, kv[0]))):
+            out = {}
+            for item in items:
+                if item.kind == "column":
+                    out[item.label] = key[group_by.index(item.column)]
+                elif item.column == "*":
+                    out[item.label] = len(members)
+                else:
+                    _check_column(item.column, all_columns)
+                    out[item.label] = _aggregate(
+                        item.func, [m.get(item.column) for m in members]
+                    )
+            out_rows.append(out)
+        rows = out_rows
+        out_columns = tuple(item.label for item in items)
+    elif star:
+        out_columns = all_columns
+        if order_by is not None:
+            _sort_rows(rows, order_by, descending)
+            order_by = None
+    else:
+        for item in items:
+            _check_column(item.column, all_columns)
+        # ORDER BY may reference non-projected columns: sort first.
+        if order_by is not None:
+            _sort_rows(rows, order_by, descending)
+            order_by = None
+        rows = [{item.label: row.get(item.column) for item in items} for row in rows]
+        out_columns = tuple(item.label for item in items)
+
+    if order_by is not None:  # aggregate path: order by an output label
+        _sort_rows(rows, order_by, descending)
+    if limit is not None:
+        rows = rows[:limit]
+    return SqlResult(rows=rows, rowcount=len(rows), columns=out_columns)
+
+
+def _sort_rows(rows: list[dict], column: str, descending: bool) -> None:
+    rows.sort(
+        key=lambda r: (r.get(column) is None, r.get(column)),
+        reverse=descending,
+    )
+
+
+def _check_column(column: str, known: tuple[str, ...]) -> None:
+    if column not in known:
+        raise SqlError(f"unknown column {column!r}; know {sorted(known)}")
+
+
+def _hash_join(
+    db: Database,
+    left_table: str,
+    left_alias: str,
+    right_table: str,
+    right_alias: str,
+    on_left: str,
+    on_right: str,
+) -> list[dict]:
+    """Equi-join by hashing the right side on its join key."""
+    def split(qualified: str) -> tuple[str, str]:
+        table, sep, column = qualified.partition(".")
+        if not sep:
+            raise SqlError(f"JOIN columns must be alias-qualified, got {qualified!r}")
+        return table, column
+
+    left_on_alias, left_on_col = split(on_left)
+    right_on_alias, right_on_col = split(on_right)
+    # Allow the ON clause in either order.
+    if {left_on_alias, right_on_alias} != {left_alias, right_alias}:
+        raise SqlError(
+            f"ON references {left_on_alias!r}/{right_on_alias!r} but the "
+            f"tables are aliased {left_alias!r}/{right_alias!r}"
+        )
+    if left_on_alias != left_alias:
+        left_on_col, right_on_col = right_on_col, left_on_col
+    db.table(left_table).schema.column(left_on_col)
+    db.table(right_table).schema.column(right_on_col)
+    buckets: dict[object, list[dict]] = {}
+    for row in db.select(right_table, ALL):
+        key = row.get(right_on_col)
+        if key is not None:
+            buckets.setdefault(key, []).append(row)
+    joined = []
+    for left_row in db.select(left_table, ALL):
+        key = left_row.get(left_on_col)
+        if key is None:
+            continue
+        for right_row in buckets.get(key, ()):
+            merged = {f"{left_alias}.{k}": v for k, v in left_row.items()}
+            merged.update({f"{right_alias}.{k}": v for k, v in right_row.items()})
+            joined.append(merged)
+    return joined
+
+
+def _execute_update(db: Database, p: _Parser) -> SqlResult:
+    p._expect_keyword("UPDATE")
+    table_name = p._ident()
+    p._expect_keyword("SET")
+    changes: dict[str, Any] = {}
+    while True:
+        column = p._ident()
+        p._expect("op", "=")
+        changes[column] = p._literal()
+        if not p._accept("op", ","):
+            break
+    predicate: Predicate = ALL
+    if p._keyword("WHERE"):
+        predicate = p.parse_where()
+    table = db.table(table_name)
+    pks = table.select_pks(predicate)
+    for pk in pks:
+        db.update(table_name, pk, changes)
+    return SqlResult(rows=[], rowcount=len(pks))
+
+
+def _execute_delete(db: Database, p: _Parser) -> SqlResult:
+    p._expect_keyword("DELETE")
+    p._expect_keyword("FROM")
+    table_name = p._ident()
+    predicate: Predicate = ALL
+    if p._keyword("WHERE"):
+        predicate = p.parse_where()
+    table = db.table(table_name)
+    pks = table.select_pks(predicate)
+    for pk in pks:
+        db.delete(table_name, pk)
+    return SqlResult(rows=[], rowcount=len(pks))

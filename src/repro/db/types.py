@@ -1,0 +1,142 @@
+"""Column types of the embedded engine.
+
+Each type knows how to validate a Python value and how to round-trip it
+through the JSON-lines persistence format (snapshot + journal). BLOB
+columns do not inline payloads in rows; they store
+:class:`~repro.db.blobstore.BlobRef` handles into the blob store — the
+same design the paper uses with Oracle BLOBs.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any
+
+from repro.errors import SchemaError
+
+
+class ColumnType:
+    """Base class of column types (singletons, exposed as constants)."""
+
+    name: str = "ANY"
+    python_types: tuple[type, ...] = (object,)
+
+    def validate(self, value: Any, column: str) -> Any:
+        """Check (and possibly coerce) *value*; raise SchemaError on mismatch."""
+        if value is None:
+            return None
+        if isinstance(value, bool) and bool not in self.python_types:
+            raise SchemaError(f"column {column!r} ({self.name}) got a bool")
+        if not isinstance(value, self.python_types):
+            raise SchemaError(
+                f"column {column!r} ({self.name}) got {type(value).__name__}: {value!r}"
+            )
+        return value
+
+    def encode(self, value: Any) -> Any:
+        """To a JSON-compatible representation."""
+        return value
+
+    def decode(self, raw: Any) -> Any:
+        """Back from :meth:`encode` output."""
+        return raw
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class IntegerType(ColumnType):
+    name = "INTEGER"
+    python_types = (int,)
+
+
+class RealType(ColumnType):
+    name = "REAL"
+    python_types = (int, float)
+
+    def validate(self, value: Any, column: str) -> Any:
+        value = super().validate(value, column)
+        return float(value) if value is not None else None
+
+
+class TextType(ColumnType):
+    name = "TEXT"
+    python_types = (str,)
+
+
+class BooleanType(ColumnType):
+    name = "BOOLEAN"
+    python_types = (bool,)
+
+
+class JsonType(ColumnType):
+    """Arbitrary JSON-serializable value (lists, dicts, scalars)."""
+
+    name = "JSONB"
+    python_types = (dict, list, str, int, float, bool, type(None))
+
+
+class BlobType(ColumnType):
+    """A handle into the blob store (never the payload itself)."""
+
+    name = "BLOB"
+
+    def validate(self, value: Any, column: str) -> Any:
+        from repro.db.blobstore import BlobRef
+
+        if value is None:
+            return None
+        if isinstance(value, bytes):
+            raise SchemaError(
+                f"column {column!r} (BLOB) takes BlobRef handles; store the "
+                "payload via BlobStore.put() first"
+            )
+        if not isinstance(value, BlobRef):
+            raise SchemaError(
+                f"column {column!r} (BLOB) got {type(value).__name__}: {value!r}"
+            )
+        return value
+
+    def encode(self, value: Any) -> Any:
+        if value is None:
+            return None
+        return {"$blob": value.blob_id, "size": value.size}
+
+    def decode(self, raw: Any) -> Any:
+        from repro.db.blobstore import BlobRef
+
+        if raw is None:
+            return None
+        return BlobRef(blob_id=raw["$blob"], size=raw["size"])
+
+
+class BytesType(ColumnType):
+    """Small inline byte strings (headers, digests) — base64 in persistence."""
+
+    name = "BYTES"
+    python_types = (bytes,)
+
+    def encode(self, value: Any) -> Any:
+        return base64.b64encode(value).decode("ascii") if value is not None else None
+
+    def decode(self, raw: Any) -> Any:
+        return base64.b64decode(raw) if raw is not None else None
+
+
+INTEGER = IntegerType()
+REAL = RealType()
+TEXT = TextType()
+BOOLEAN = BooleanType()
+JSONB = JsonType()
+BLOB = BlobType()
+BYTES = BytesType()
+
+_BY_NAME = {t.name: t for t in (INTEGER, REAL, TEXT, BOOLEAN, JSONB, BLOB, BYTES)}
+
+
+def type_by_name(name: str) -> ColumnType:
+    """Look up a column type by its SQL-ish name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise SchemaError(f"unknown column type {name!r}; know {sorted(_BY_NAME)}") from None

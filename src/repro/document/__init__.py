@@ -1,0 +1,47 @@
+"""Hierarchical multimedia documents (paper Sections 4 and 5.1).
+
+A :class:`~repro.document.document.MultimediaDocument` is a tree of
+components — composites (internal nodes, shown/hidden) and primitives
+(leaves with several alternative :class:`~repro.document.presentation.MMPresentation`
+forms) — paired with the author's CP-network over those components. The
+document exposes exactly the Section 5.1 interface: ``get_content``,
+``default_presentation`` and ``reconfig_presentation``.
+"""
+
+from repro.document.component import (
+    COMPOSITE_HIDDEN,
+    COMPOSITE_SHOWN,
+    CompositeMultimediaComponent,
+    MultimediaComponent,
+    PrimitiveMultimediaComponent,
+)
+from repro.document.builder import DocumentBuilder
+from repro.document.document import MultimediaDocument
+from repro.document.medical import build_sample_medical_record
+from repro.document.presentation import (
+    AudioFragment,
+    Hidden,
+    Icon,
+    JPGImage,
+    MMPresentation,
+    SegmentedJPGImage,
+    Text,
+)
+
+__all__ = [
+    "AudioFragment",
+    "COMPOSITE_HIDDEN",
+    "COMPOSITE_SHOWN",
+    "CompositeMultimediaComponent",
+    "DocumentBuilder",
+    "Hidden",
+    "Icon",
+    "JPGImage",
+    "MMPresentation",
+    "MultimediaComponent",
+    "MultimediaDocument",
+    "PrimitiveMultimediaComponent",
+    "SegmentedJPGImage",
+    "Text",
+    "build_sample_medical_record",
+]

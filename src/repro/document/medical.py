@@ -1,0 +1,147 @@
+"""A realistic sample medical record (the paper's running example).
+
+"Consider a medical record of a patient. It may contain CT and X-ray
+images, test results in a special format, texts, voice fragments, etc."
+— paper §4. This factory builds such a record with author preferences that
+transcribe the intro's examples:
+
+* the author "may prefer to present a CT image together with a voice
+  fragment of expertise";
+* "if a CT image is presented, then a correlated X-ray image is preferred
+  by the author to be hidden, or to be presented as a small icon".
+"""
+
+from __future__ import annotations
+
+from repro.document.builder import DocumentBuilder
+from repro.document.document import MultimediaDocument
+from repro.document.presentation import (
+    AudioFragment,
+    Hidden,
+    Icon,
+    JPGImage,
+    SegmentedJPGImage,
+    Text,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+
+def build_sample_medical_record(
+    doc_id: str = "record-17", patient: str = "patient-17"
+) -> MultimediaDocument:
+    """Build the reference medical record used by examples and tests.
+
+    Structure (component paths in parentheses)::
+
+        root
+        ├── demographics           (text, always cheap)
+        ├── imaging                (composite)
+        │   ├── ct_head            (flat / segmented / icon / hidden)
+        │   └── xray_chest         (flat / icon / hidden)
+        ├── labs                   (composite)
+        │   ├── blood_panel        (table / hidden)
+        │   └── ecg                (trace / icon / hidden)
+        └── consult                (composite)
+            ├── voice_note         (play / transcript / hidden)
+            └── referral_letter    (full / summary / hidden)
+    """
+    builder = (
+        DocumentBuilder(doc_id, title=f"Medical record of {patient}", root_name="record")
+        .primitive(
+            "demographics",
+            [Text("full", size_bytes=2 * KB), Text("summary", size_bytes=256), Hidden()],
+            description="Patient demographics",
+        )
+        .prefer("demographics", ["full", "summary", "hidden"])
+        .composite("imaging", "Imaging studies")
+        .prefer("imaging", ["shown", "hidden"])
+        .primitive(
+            "imaging.ct_head",
+            [
+                JPGImage("flat", size_bytes=512 * KB, resolution=2),
+                SegmentedJPGImage("segmented", size_bytes=640 * KB, resolution=2),
+                Icon("icon", size_bytes=8 * KB),
+                Hidden(),
+            ],
+            description="Head CT study",
+        )
+        .primitive(
+            "imaging.xray_chest",
+            [
+                JPGImage("flat", size_bytes=256 * KB, resolution=2),
+                Icon("icon", size_bytes=6 * KB),
+                Hidden(),
+            ],
+            description="Chest X-ray",
+        )
+        .composite("labs", "Laboratory results")
+        .prefer("labs", ["shown", "hidden"])
+        .primitive(
+            "labs.blood_panel",
+            [Text("table", size_bytes=4 * KB), Hidden()],
+            description="Blood panel",
+        )
+        .primitive(
+            "labs.ecg",
+            [
+                JPGImage("trace", size_bytes=96 * KB, resolution=1),
+                Icon("icon", size_bytes=4 * KB),
+                Hidden(),
+            ],
+            description="ECG trace",
+        )
+        .composite("consult", "Consultation materials")
+        .prefer("consult", ["shown", "hidden"])
+        .primitive(
+            "consult.voice_note",
+            [
+                AudioFragment("play", size_bytes=1 * MB, duration_s=65.0),
+                Text("transcript", size_bytes=6 * KB),
+                Hidden(),
+            ],
+            description="Recorded expert voice note",
+        )
+        .primitive(
+            "consult.referral_letter",
+            [Text("full", size_bytes=12 * KB), Text("summary", size_bytes=1 * KB), Hidden()],
+            description="Referral letter",
+        )
+    )
+
+    # --- author preferences (paper §1/§4 examples) -------------------------
+    # The CT is the centrepiece: shown flat when imaging is shown.
+    builder.depends("imaging.ct_head", on=["imaging"])
+    builder.prefer_when("imaging.ct_head", {"imaging": "shown"}, ["flat", "segmented", "icon", "hidden"])
+    builder.prefer_when("imaging.ct_head", {"imaging": "hidden"}, ["hidden", "icon", "flat", "segmented"])
+
+    # "If a CT image is presented, then a correlated X-ray image is
+    # preferred ... to be hidden, or presented as a small icon."
+    builder.depends("imaging.xray_chest", on=["imaging.ct_head"])
+    for ct_visible in ("flat", "segmented"):
+        builder.prefer_when(
+            "imaging.xray_chest", {"imaging.ct_head": ct_visible}, ["icon", "hidden", "flat"]
+        )
+    builder.prefer_when("imaging.xray_chest", {"imaging.ct_head": "icon"}, ["flat", "icon", "hidden"])
+    builder.prefer_when("imaging.xray_chest", {"imaging.ct_head": "hidden"}, ["flat", "icon", "hidden"])
+
+    # "Present a CT image together with a voice fragment of expertise."
+    builder.depends("consult.voice_note", on=["imaging.ct_head"])
+    for ct_visible in ("flat", "segmented"):
+        builder.prefer_when(
+            "consult.voice_note", {"imaging.ct_head": ct_visible}, ["play", "transcript", "hidden"]
+        )
+    builder.prefer_when("consult.voice_note", {}, ["transcript", "play", "hidden"])
+
+    # Labs matter less during an imaging consult.
+    builder.depends("labs.ecg", on=["labs"])
+    builder.prefer_when("labs.ecg", {"labs": "shown"}, ["trace", "icon", "hidden"])
+    builder.prefer_when("labs.ecg", {"labs": "hidden"}, ["hidden", "icon", "trace"])
+    builder.depends("labs.blood_panel", on=["labs"])
+    builder.prefer_when("labs.blood_panel", {"labs": "shown"}, ["table", "hidden"])
+    builder.prefer_when("labs.blood_panel", {"labs": "hidden"}, ["hidden", "table"])
+
+    builder.prefer("consult.referral_letter", ["summary", "full", "hidden"])
+
+    return builder.build()

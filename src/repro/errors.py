@@ -1,0 +1,102 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every subsystem raises exceptions derived from :class:`ReproError`, so
+callers can catch the library root without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of the library's exception hierarchy."""
+
+
+class CPNetError(ReproError):
+    """Base class for CP-network errors."""
+
+
+class CyclicNetworkError(CPNetError):
+    """The CP-network dependency graph contains a cycle."""
+
+
+class UnknownVariableError(CPNetError, KeyError):
+    """A variable name does not exist in the network."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it readable.
+        return Exception.__str__(self)
+
+
+class UnknownValueError(CPNetError, ValueError):
+    """A value is not in the domain of its variable."""
+
+
+class IncompleteTableError(CPNetError):
+    """A CPT does not cover every assignment to the parent variables."""
+
+
+class DocumentError(ReproError):
+    """Base class for multimedia document errors."""
+
+
+class DatabaseError(ReproError):
+    """Base class for database engine errors."""
+
+
+class SchemaError(DatabaseError):
+    """Table or column definition is invalid, or data violates it."""
+
+
+class DuplicateKeyError(DatabaseError):
+    """A primary-key or unique-index constraint was violated."""
+
+
+class TransactionError(DatabaseError):
+    """Illegal transaction state transition (e.g. commit with none open)."""
+
+
+class BlobError(DatabaseError):
+    """Blob store corruption or unknown blob reference."""
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network errors."""
+
+
+class ServerError(ReproError):
+    """Base class for interaction-server errors."""
+
+
+class PermissionError_(ServerError):
+    """The session lacks the permission required for the operation."""
+
+
+class RoomError(ServerError):
+    """Room membership or room state violation."""
+
+
+class FrozenObjectError(ServerError):
+    """The multimedia object is frozen by another participant."""
+
+
+class ClientError(ReproError):
+    """Base class for client-module errors."""
+
+
+class BufferFullError(ClientError):
+    """The client buffer cannot admit the component even after eviction."""
+
+
+class MediaError(ReproError):
+    """Base class for media-processing errors."""
+
+
+class CodecError(MediaError):
+    """Encoding or decoding failed (corrupt stream, bad parameters)."""
+
+
+class AudioError(MediaError):
+    """Audio-processing failure (bad signal, untrained model, ...)."""
+
+
+class PrefetchError(ReproError):
+    """Base class for prefetch-module errors."""

@@ -1,0 +1,12 @@
+"""Media processing modules (paper Section 3).
+
+Two integrated processing stacks, rebuilt in Python:
+
+* :mod:`repro.media.image` — the image-processing module (zoom,
+  annotations, segmentation; object freezing lives in
+  :mod:`repro.server.room`) and the multi-layered compression/transfer
+  module of Averbuch et al.;
+* :mod:`repro.media.audio` — the voice-processing module of Cohen:
+  automatic audio segmentation, CD-HMM-based word spotting and
+  text-independent speaker spotting.
+"""

@@ -1,0 +1,55 @@
+"""Voice processing (paper Section 3, module 2 — A. Cohen's browser).
+
+The tele-consulting audio browser needs to answer: how many speakers are
+in a conversation, who are they, and where are the keywords? The stack:
+
+* :mod:`repro.media.audio.synth` — synthetic multi-speaker speech-like
+  signals with ground truth (the data substitution for recordings);
+* :mod:`repro.media.audio.features` — MFCC front end (from scratch);
+* :mod:`repro.media.audio.gmm` — diagonal Gaussian mixtures with EM;
+* :mod:`repro.media.audio.hmm` — the Continuous-Density HMM the paper
+  names as "the main tool": forward/backward, Viterbi, Baum-Welch;
+* :mod:`repro.media.audio.segmentation` — automatic segmentation into
+  silence / speech / music;
+* :mod:`repro.media.audio.wordspot` — keyword models + garbage model;
+* :mod:`repro.media.audio.speakerspot` — text-independent speaker
+  spotting and identification.
+"""
+
+from repro.media.audio.features import mfcc
+from repro.media.audio.gmm import DiagonalGMM
+from repro.media.audio.hmm import CDHMM
+from repro.media.audio.language import LanguageIdentifier
+from repro.media.audio.segmentation import AudioSegment, segment_audio
+from repro.media.audio.signal import AudioSignal
+from repro.media.audio.speakerspot import SpeakerSpotter
+from repro.media.audio.topics import rank_subjects, subject_of
+from repro.media.audio.synth import (
+    ConversationBuilder,
+    SpeakerProfile,
+    WORDS,
+    synth_music,
+    synth_noise,
+    synth_word,
+)
+from repro.media.audio.wordspot import WordSpotter
+
+__all__ = [
+    "AudioSegment",
+    "AudioSignal",
+    "CDHMM",
+    "ConversationBuilder",
+    "DiagonalGMM",
+    "LanguageIdentifier",
+    "SpeakerProfile",
+    "SpeakerSpotter",
+    "WORDS",
+    "WordSpotter",
+    "mfcc",
+    "rank_subjects",
+    "segment_audio",
+    "subject_of",
+    "synth_music",
+    "synth_noise",
+    "synth_word",
+]

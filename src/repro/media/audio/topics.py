@@ -1,0 +1,82 @@
+"""Subject detection for the audio browser.
+
+"... and answer questions such as: ... What is the subject of the talk?"
+(paper §3). With the keyword list a priori known (the word-spotting
+premise), the subject falls out of *which* keywords fire and how
+strongly: each keyword votes for the clinical topics it signals, votes
+are weighted by the spotting margins, and the ranked topics summarize
+the conversation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.errors import AudioError
+
+#: Keyword -> the topics it signals (weights express specificity).
+DEFAULT_TOPIC_MAP: dict[str, dict[str, float]] = {
+    "lesion": {"imaging-findings": 1.0},
+    "normal": {"imaging-findings": 0.6, "routine-review": 0.8},
+    "biopsy": {"intervention-planning": 1.0},
+    "urgent": {"triage": 1.0, "intervention-planning": 0.4},
+}
+
+UNKNOWN_SUBJECT = "unknown"
+
+
+@dataclass(frozen=True)
+class TopicScore:
+    """One ranked subject."""
+
+    topic: str
+    score: float
+    supporting_keywords: tuple[str, ...]
+
+
+def rank_subjects(
+    spotted: list,
+    topic_map: dict[str, dict[str, float]] | None = None,
+) -> list[TopicScore]:
+    """Rank conversation subjects from spotting results.
+
+    *spotted* is any list of objects with ``keyword`` and ``score_margin``
+    attributes — per-segment :class:`SpotResult` pairs' second elements,
+    or :class:`StreamFlag` instances. Keywords absent from the topic map
+    are ignored (they flag vocabulary, not subject).
+    """
+    topic_map = topic_map if topic_map is not None else DEFAULT_TOPIC_MAP
+    for keyword, topics in topic_map.items():
+        for weight in topics.values():
+            if weight <= 0:
+                raise AudioError(
+                    f"topic weight for {keyword!r} must be > 0, got {weight}"
+                )
+    scores: dict[str, float] = defaultdict(float)
+    support: dict[str, set[str]] = defaultdict(set)
+    for item in spotted:
+        keyword = getattr(item, "keyword", None)
+        if keyword is None:
+            continue
+        margin = max(float(getattr(item, "score_margin", 0.0)), 0.0)
+        for topic, weight in topic_map.get(keyword, {}).items():
+            scores[topic] += weight * (1.0 + margin)
+            support[topic].add(keyword)
+    ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [
+        TopicScore(
+            topic=topic,
+            score=score,
+            supporting_keywords=tuple(sorted(support[topic])),
+        )
+        for topic, score in ranked
+    ]
+
+
+def subject_of(
+    spotted: list, topic_map: dict[str, dict[str, float]] | None = None
+) -> str:
+    """The single best subject, or :data:`UNKNOWN_SUBJECT`."""
+    ranked = rank_subjects(spotted, topic_map)
+    return ranked[0].topic if ranked else UNKNOWN_SUBJECT

@@ -1,0 +1,50 @@
+"""Image processing and multi-layer compression.
+
+The paper's image module supports zooming a selected part, deleting text
+and line elements, segmentation grids with fillable segments, and object
+freezing (implemented by :mod:`repro.server.room`). The compression
+module implements the cited multi-layered paradigm: "an image is encoded
+as the superposition of one main approximation, and a sequence of
+residuals", with a wavelet basis for the approximation and local-cosine
+bases for the residual layers.
+"""
+
+from repro.media.image.image import Image
+from repro.media.image.ops import AnnotatedImage, LineElement, TextElement, zoom
+from repro.media.image.segmentation import (
+    SegmentationGrid,
+    fill_segment,
+    label_regions,
+    overlay_grid,
+)
+from repro.media.image.codec import EncodedImage, MultiLayerCodec
+from repro.media.image.progressive import resolution_ladder, transcode_to_budget
+from repro.media.image.metrics import mse, psnr
+from repro.media.image.synthetic import ct_phantom, ultrasound_phantom, xray_phantom
+from repro.media.image.wavelet import haar_forward, haar_inverse
+from repro.media.image.dct import block_dct, block_idct
+
+__all__ = [
+    "AnnotatedImage",
+    "EncodedImage",
+    "Image",
+    "LineElement",
+    "MultiLayerCodec",
+    "SegmentationGrid",
+    "TextElement",
+    "block_dct",
+    "block_idct",
+    "ct_phantom",
+    "fill_segment",
+    "haar_forward",
+    "haar_inverse",
+    "label_regions",
+    "mse",
+    "overlay_grid",
+    "psnr",
+    "resolution_ladder",
+    "transcode_to_budget",
+    "ultrasound_phantom",
+    "xray_phantom",
+    "zoom",
+]

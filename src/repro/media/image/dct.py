@@ -1,0 +1,63 @@
+"""Block DCT ("local cosine") transforms, implemented with numpy.
+
+The residual layers of the multi-layer codec use "a wavelet packet or
+local cosine compression algorithm" [3]; this module provides the local
+cosine half: an orthonormal DCT-II applied on non-overlapping blocks,
+which "allow[s] different features to be discovered in the image" than
+the wavelet basis of the main approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MediaError
+
+_BASIS_CACHE: dict[int, np.ndarray] = {}
+
+
+def dct_matrix(size: int) -> np.ndarray:
+    """The orthonormal DCT-II basis matrix of the given size."""
+    if size < 1:
+        raise MediaError(f"DCT size must be >= 1, got {size}")
+    cached = _BASIS_CACHE.get(size)
+    if cached is not None:
+        return cached
+    k = np.arange(size)[:, None]
+    n = np.arange(size)[None, :]
+    basis = np.cos(np.pi * (2 * n + 1) * k / (2 * size))
+    basis *= np.sqrt(2.0 / size)
+    basis[0, :] *= np.sqrt(0.5)
+    _BASIS_CACHE[size] = basis
+    return basis
+
+
+def _check_blocks(shape: tuple[int, int], block: int) -> None:
+    if block < 1:
+        raise MediaError(f"block size must be >= 1, got {block}")
+    if shape[0] % block or shape[1] % block:
+        raise MediaError(f"image sides {shape} must be divisible by block {block}")
+
+
+def block_dct(pixels: np.ndarray, block: int = 8) -> np.ndarray:
+    """2-D DCT-II on non-overlapping ``block x block`` tiles."""
+    pixels = np.asarray(pixels, dtype=np.float64)
+    _check_blocks(pixels.shape, block)
+    basis = dct_matrix(block)
+    height, width = pixels.shape
+    tiles = pixels.reshape(height // block, block, width // block, block)
+    tiles = tiles.transpose(0, 2, 1, 3)  # (by, bx, block, block)
+    transformed = np.einsum("ij,byjk,lk->byil", basis, tiles, basis)
+    return transformed.transpose(0, 2, 1, 3).reshape(height, width)
+
+
+def block_idct(coeffs: np.ndarray, block: int = 8) -> np.ndarray:
+    """Inverse of :func:`block_dct`."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    _check_blocks(coeffs.shape, block)
+    basis = dct_matrix(block)
+    height, width = coeffs.shape
+    tiles = coeffs.reshape(height // block, block, width // block, block)
+    tiles = tiles.transpose(0, 2, 1, 3)
+    restored = np.einsum("ji,byjk,kl->byil", basis, tiles, basis)
+    return restored.transpose(0, 2, 1, 3).reshape(height, width)

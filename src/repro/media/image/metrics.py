@@ -1,0 +1,35 @@
+"""Image quality metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import MediaError
+from repro.media.image.image import Image
+
+
+def mse(reference: Image, candidate: Image) -> float:
+    """Mean squared error between two images of equal shape."""
+    if reference.shape != candidate.shape:
+        raise MediaError(
+            f"shape mismatch: {reference.shape} vs {candidate.shape}"
+        )
+    diff = reference.pixels - candidate.pixels
+    return float(np.mean(diff * diff))
+
+
+def psnr(reference: Image, candidate: Image, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (inf for identical images)."""
+    error = mse(reference, candidate)
+    if error == 0.0:
+        return math.inf
+    return 10.0 * math.log10((peak * peak) / error)
+
+
+def compression_ratio(original_bytes: int, encoded_bytes: int) -> float:
+    """How many times smaller the encoded stream is."""
+    if encoded_bytes <= 0:
+        raise MediaError(f"encoded_bytes must be > 0, got {encoded_bytes}")
+    return original_bytes / encoded_bytes

@@ -1,0 +1,71 @@
+"""Progressive transmission over the multi-layer stream.
+
+"By integrating it with the Cooperative architecture and the Intelligent
+Objects Presentation module, one is able to customize the way the same
+image is shown with different resolutions to the various partners in the
+chat room" — the per-partner resolution is simply how many layers of the
+same encoded stream that partner receives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CodecError
+from repro.media.image.codec import EncodedImage, MultiLayerCodec
+from repro.media.image.image import Image
+from repro.media.image.metrics import psnr
+
+
+@dataclass(frozen=True)
+class ResolutionStep:
+    """One rung of the ladder: ship this many layers, pay these bytes."""
+
+    num_layers: int
+    bytes_on_wire: int
+    psnr_db: float
+
+
+def resolution_ladder(encoded: EncodedImage, reference: Image) -> tuple[ResolutionStep, ...]:
+    """Per-prefix cost/quality table of an encoded stream."""
+    steps = []
+    for count in range(1, encoded.num_layers + 1):
+        decoded = MultiLayerCodec.decode(encoded, count)
+        steps.append(
+            ResolutionStep(
+                num_layers=count,
+                bytes_on_wire=encoded.prefix_size(count),
+                psnr_db=psnr(reference, decoded),
+            )
+        )
+    return tuple(steps)
+
+
+def transcode_to_budget(encoded: EncodedImage, max_bytes: int) -> bytes:
+    """The largest layer prefix fitting *max_bytes* (at least one layer).
+
+    This is the server-side transcoding §4.4 alludes to: the same stored
+    stream serves every bandwidth class without re-encoding.
+    """
+    best = None
+    for count in range(1, encoded.num_layers + 1):
+        if encoded.prefix_size(count) <= max_bytes:
+            best = count
+    if best is None:
+        raise CodecError(
+            f"even one layer ({encoded.prefix_size(1)}B) exceeds the "
+            f"{max_bytes}B budget"
+        )
+    return encoded.to_bytes(best)
+
+
+def layers_for_bandwidth(
+    encoded: EncodedImage, bits_per_second: float, deadline_s: float
+) -> int:
+    """How many layers a viewer can receive within *deadline_s*."""
+    budget = int(bits_per_second * deadline_s / 8)
+    best = 0
+    for count in range(1, encoded.num_layers + 1):
+        if encoded.prefix_size(count) <= budget:
+            best = count
+    return best

@@ -1,0 +1,57 @@
+"""Coefficient quantization and entropy-coded serialization.
+
+Quantization is uniform with a dead zone (small coefficients snap to
+zero, which is where the compression comes from); serialization packs the
+integer coefficient grid with zlib, which acts as the entropy coder.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.errors import CodecError
+
+_HEADER = struct.Struct("<dII")  # step, height, width
+
+
+def quantize(coeffs: np.ndarray, step: float) -> np.ndarray:
+    """Uniform dead-zone quantization to int32 indices."""
+    if step <= 0:
+        raise CodecError(f"quantization step must be > 0, got {step}")
+    return np.round(np.asarray(coeffs, dtype=np.float64) / step).astype(np.int32)
+
+
+def dequantize(indices: np.ndarray, step: float) -> np.ndarray:
+    if step <= 0:
+        raise CodecError(f"quantization step must be > 0, got {step}")
+    return indices.astype(np.float64) * step
+
+
+def pack(indices: np.ndarray, step: float) -> bytes:
+    """Serialize a quantized coefficient grid (zlib entropy stage)."""
+    if indices.ndim != 2:
+        raise CodecError(f"expected a 2-D grid, got shape {indices.shape}")
+    header = _HEADER.pack(step, indices.shape[0], indices.shape[1])
+    body = zlib.compress(indices.astype(np.int32).tobytes(), level=6)
+    return header + body
+
+
+def unpack(payload: bytes) -> tuple[np.ndarray, float]:
+    """Inverse of :func:`pack`; returns (indices, step)."""
+    if len(payload) < _HEADER.size:
+        raise CodecError("quantized payload too short")
+    step, height, width = _HEADER.unpack(payload[: _HEADER.size])
+    try:
+        body = zlib.decompress(payload[_HEADER.size:])
+    except zlib.error as exc:
+        raise CodecError(f"corrupt coefficient stream: {exc}") from exc
+    indices = np.frombuffer(body, dtype=np.int32)
+    if indices.size != height * width:
+        raise CodecError(
+            f"coefficient count mismatch: header says {height}x{width}, "
+            f"stream has {indices.size}"
+        )
+    return indices.reshape(height, width).copy(), step

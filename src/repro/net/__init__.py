@@ -1,0 +1,18 @@
+"""Discrete-event simulated network.
+
+The paper's prototype runs over Java RMI on real links; this package is
+the measurable substitute. A :class:`~repro.net.simclock.SimClock` orders
+events; :class:`~repro.net.link.Link` models per-client bandwidth and
+latency (including FIFO serialization on a busy link); a
+:class:`~repro.net.network.SimulatedNetwork` is the star topology of the
+paper's Figure 1 — every client connected to the interaction server —
+with per-link byte/message accounting so benchmarks E4/E5/E7/E9 can
+report message volume and transfer times.
+"""
+
+from repro.net.link import Link
+from repro.net.message import Message
+from repro.net.network import NetworkStats, SimulatedNetwork
+from repro.net.simclock import SimClock
+
+__all__ = ["Link", "Message", "NetworkStats", "SimClock", "SimulatedNetwork"]

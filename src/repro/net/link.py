@@ -1,0 +1,65 @@
+"""Point-to-point links with bandwidth, latency and FIFO serialization.
+
+The transfer time of a message is propagation latency plus transmission
+time (``bytes * 8 / bandwidth``); concurrent transfers on the same link
+queue behind each other, so a congested narrow link visibly delays large
+image payloads — the effect the paper's §4.4 tuning variables react to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_positive
+
+KBPS = 1_000
+MBPS = 1_000_000
+
+
+@dataclass
+class Link:
+    """One directed link.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Transmission rate in bits/second.
+    latency_s:
+        One-way propagation delay in seconds.
+    """
+
+    bandwidth_bps: float = 10 * MBPS
+    latency_s: float = 0.005
+    _busy_until: float = field(default=0.0, repr=False)
+    bytes_carried: int = field(default=0, repr=False)
+    messages_carried: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.bandwidth_bps, "bandwidth_bps")
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
+
+    def transmission_time(self, size_bytes: int) -> float:
+        """Seconds to clock *size_bytes* onto the wire (no latency/queueing)."""
+        return (size_bytes * 8) / self.bandwidth_bps
+
+    def schedule_transfer(self, now: float, size_bytes: int) -> float:
+        """Reserve the link for a message; returns its arrival time.
+
+        The message starts transmitting when the link frees up (FIFO), and
+        arrives one propagation delay after its transmission completes.
+        """
+        start = max(now, self._busy_until)
+        done_sending = start + self.transmission_time(size_bytes)
+        self._busy_until = done_sending
+        self.bytes_carried += size_bytes
+        self.messages_carried += 1
+        return done_sending + self.latency_s
+
+    def queueing_delay(self, now: float) -> float:
+        """How long a message arriving now would wait before transmitting."""
+        return max(0.0, self._busy_until - now)
+
+    def reset_stats(self) -> None:
+        self.bytes_carried = 0
+        self.messages_carried = 0

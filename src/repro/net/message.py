@@ -1,0 +1,36 @@
+"""Network messages.
+
+A message is addressed application payload plus an explicit wire size —
+the simulation charges the links by ``size_bytes``, so protocol encoders
+must account honestly for what they would serialize.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_message_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One unit of transfer between two nodes."""
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Any = None
+    size_bytes: int = 0
+    message_id: int = field(default_factory=lambda: next(_message_counter))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
+
+    def __str__(self) -> str:
+        return (
+            f"Message#{self.message_id} {self.sender}->{self.recipient} "
+            f"{self.kind} ({self.size_bytes}B)"
+        )

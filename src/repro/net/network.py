@@ -1,0 +1,167 @@
+"""The simulated star network of Figure 1.
+
+All traffic flows between the interaction server (the hub) and client
+nodes, each over its own uplink/downlink pair — which is how the paper's
+clients "reside anywhere on the network" with individually different
+bandwidth. Node objects implement ``receive(message)``; delivery happens
+through the shared :class:`~repro.net.simclock.SimClock`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.errors import NetworkError
+from repro.net.link import Link
+from repro.net.message import Message
+from repro.net.simclock import SimClock
+
+
+class Node(Protocol):
+    """Anything attachable to the network."""
+
+    node_id: str
+
+    def receive(self, message: Message) -> None:
+        """Handle a delivered message (called at its arrival time)."""
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic accounting."""
+
+    messages: int = 0
+    bytes_total: int = 0
+    bytes_by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    messages_by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, message: Message) -> None:
+        self.messages += 1
+        self.bytes_total += message.size_bytes
+        self.bytes_by_kind[message.kind] += message.size_bytes
+        self.messages_by_kind[message.kind] += 1
+
+
+class SimulatedNetwork:
+    """A hub-and-spoke network: one hub, many clients, per-client links."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._nodes: dict[str, Node] = {}
+        self._uplinks: dict[str, Link] = {}    # node -> hub
+        self._downlinks: dict[str, Link] = {}  # hub -> node
+        self._hub_id: str | None = None
+        self.stats = NetworkStats()
+
+    # ----- topology --------------------------------------------------------------
+
+    def attach_hub(self, node: Node) -> None:
+        """Register the hub (the interaction server). Exactly one."""
+        if self._hub_id is not None:
+            raise NetworkError(f"hub already attached: {self._hub_id!r}")
+        self._hub_id = node.node_id
+        self._nodes[node.node_id] = node
+
+    def attach_client(
+        self,
+        node: Node,
+        uplink: Link | None = None,
+        downlink: Link | None = None,
+    ) -> None:
+        """Register a client with its own links to/from the hub."""
+        if node.node_id in self._nodes:
+            raise NetworkError(f"node {node.node_id!r} already attached")
+        self._nodes[node.node_id] = node
+        self._uplinks[node.node_id] = uplink if uplink is not None else Link()
+        self._downlinks[node.node_id] = downlink if downlink is not None else Link()
+
+    def detach_client(self, node_id: str) -> None:
+        if node_id == self._hub_id:
+            raise NetworkError("cannot detach the hub")
+        self._nodes.pop(node_id, None)
+        self._uplinks.pop(node_id, None)
+        self._downlinks.pop(node_id, None)
+
+    @property
+    def hub_id(self) -> str:
+        if self._hub_id is None:
+            raise NetworkError("no hub attached")
+        return self._hub_id
+
+    @property
+    def client_ids(self) -> tuple[str, ...]:
+        return tuple(n for n in self._nodes if n != self._hub_id)
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NetworkError(f"no node {node_id!r} attached") from None
+
+    def downlink(self, node_id: str) -> Link:
+        try:
+            return self._downlinks[node_id]
+        except KeyError:
+            raise NetworkError(f"no downlink for {node_id!r}") from None
+
+    def uplink(self, node_id: str) -> Link:
+        try:
+            return self._uplinks[node_id]
+        except KeyError:
+            raise NetworkError(f"no uplink for {node_id!r}") from None
+
+    # ----- transfer --------------------------------------------------------------------
+
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        kind: str,
+        payload: Any = None,
+        size_bytes: int = 0,
+    ) -> Message:
+        """Queue a message; it is delivered via the clock at arrival time.
+
+        Traffic is hub<->client: client-to-client messages are rejected
+        (the paper's clients only ever talk to the interaction server,
+        which relays room traffic).
+        """
+        if sender not in self._nodes:
+            raise NetworkError(f"unknown sender {sender!r}")
+        if recipient not in self._nodes:
+            raise NetworkError(f"unknown recipient {recipient!r}")
+        hub = self.hub_id
+        if sender == hub and recipient != hub:
+            link = self.downlink(recipient)
+        elif recipient == hub and sender != hub:
+            link = self.uplink(sender)
+        else:
+            raise NetworkError(
+                f"only hub<->client traffic is modelled, got {sender!r}->{recipient!r}"
+            )
+        message = Message(
+            sender=sender, recipient=recipient, kind=kind,
+            payload=payload, size_bytes=size_bytes,
+        )
+        arrival = link.schedule_transfer(self.clock.now, size_bytes)
+        self.stats.record(message)
+        target = self._nodes[recipient]
+        self.clock.schedule_at(arrival, lambda: self._deliver(target, message))
+        return message
+
+    def _deliver(self, target: Node, message: Message) -> None:
+        # The node may have detached between send and arrival; drop silently
+        # (the paper's server discards updates for departed clients).
+        if target.node_id in self._nodes:
+            target.receive(message)
+
+    def run(self) -> int:
+        """Drive the clock until the network is quiescent."""
+        return self.clock.run()
+
+    def reset_stats(self) -> None:
+        self.stats = NetworkStats()
+        for link in list(self._uplinks.values()) + list(self._downlinks.values()):
+            link.reset_stats()

@@ -1,0 +1,202 @@
+"""The presentation engine: per-document, per-viewer reasoning state.
+
+Implements the behaviour of the paper's Figure 4(b) use case: whenever a
+viewer's choice arrives, "determine the optimal presentations for all
+relevant documents" — here, the best completion of (shared choices ∪ that
+viewer's personal choices) over (author network + that viewer's
+extension). Shared choices model the cooperative room ("each one of them
+sees the actions of the other"); personal choices and per-viewer CP-net
+extensions (§4.2) give each partner their own view of the same object,
+as in the paper's Figure 9 multi-resolution example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import DocumentError
+from repro.cpnet.updates import OperationVariable, ViewerExtension
+from repro.document.document import MultimediaDocument
+from repro.presentation.spec import PresentationSpec, build_spec
+
+#: Choice scopes.
+SHARED = "shared"
+PERSONAL = "personal"
+
+
+@dataclass(frozen=True)
+class ViewerChoice:
+    """One explicit presentation choice by a viewer.
+
+    ``scope`` is :data:`SHARED` (constrains everyone's presentation — the
+    cooperative default) or :data:`PERSONAL` (constrains only this
+    viewer, e.g. a resolution pick driven by their bandwidth).
+    """
+
+    viewer_id: str
+    component: str
+    value: str
+    scope: str = SHARED
+
+    def __post_init__(self) -> None:
+        if self.scope not in (SHARED, PERSONAL):
+            raise ValueError(f"scope must be 'shared' or 'personal', got {self.scope!r}")
+
+
+class PresentationEngine:
+    """Presentation reasoning for one open document."""
+
+    def __init__(self, document: MultimediaDocument) -> None:
+        self.document = document
+        self._shared_choices: dict[str, str] = {}
+        self._personal_choices: dict[str, dict[str, str]] = {}
+        self._extensions: dict[str, ViewerExtension] = {}
+        # Spec memoization: one shared version counter (bumped by shared
+        # choices and global operations) plus a per-viewer counter (bumped
+        # by that viewer's personal choices/operations). A viewer's spec
+        # is valid while both counters are unchanged — so propagating a
+        # personal change does not recompute every other member's view.
+        self._shared_version = 0
+        self._viewer_versions: dict[str, int] = {}
+        self._spec_cache: dict[str, tuple[int, int, PresentationSpec]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ----- viewers ----------------------------------------------------------
+
+    def register_viewer(self, viewer_id: str) -> None:
+        self._personal_choices.setdefault(viewer_id, {})
+        self._extensions.setdefault(
+            viewer_id, ViewerExtension(self.document.network, viewer_id)
+        )
+
+    def unregister_viewer(self, viewer_id: str) -> None:
+        self._personal_choices.pop(viewer_id, None)
+        self._extensions.pop(viewer_id, None)
+        self._viewer_versions.pop(viewer_id, None)
+        self._spec_cache.pop(viewer_id, None)
+
+    @property
+    def viewer_ids(self) -> tuple[str, ...]:
+        return tuple(self._personal_choices)
+
+    def extension(self, viewer_id: str) -> ViewerExtension:
+        self._require_viewer(viewer_id)
+        return self._extensions[viewer_id]
+
+    def _require_viewer(self, viewer_id: str) -> None:
+        if viewer_id not in self._personal_choices:
+            raise DocumentError(f"viewer {viewer_id!r} is not registered")
+
+    # ----- choices -------------------------------------------------------------
+
+    def apply_choice(self, choice: ViewerChoice) -> None:
+        """Record a choice; later choices on the same component win."""
+        self._require_viewer(choice.viewer_id)
+        variable = self._variable_for(choice.viewer_id, choice.component)
+        variable.check_value(choice.value)
+        if choice.scope == SHARED:
+            self._shared_choices[choice.component] = choice.value
+            # A fresh shared choice overrides older personal ones everywhere.
+            for personal in self._personal_choices.values():
+                personal.pop(choice.component, None)
+            self._shared_version += 1
+        else:
+            self._personal_choices[choice.viewer_id][choice.component] = choice.value
+            self._bump_viewer(choice.viewer_id)
+
+    def clear_choice(self, viewer_id: str, component: str) -> None:
+        """Withdraw constraints on *component* (back to author preference)."""
+        self._require_viewer(viewer_id)
+        self._shared_choices.pop(component, None)
+        self._personal_choices[viewer_id].pop(component, None)
+        self._shared_version += 1
+
+    def _bump_viewer(self, viewer_id: str) -> None:
+        self._viewer_versions[viewer_id] = self._viewer_versions.get(viewer_id, 0) + 1
+
+    def invalidate(self) -> None:
+        """Drop all memoized specs — call after mutating the document or
+        its network outside this engine (e.g. ``document.add_component``)."""
+        self._shared_version += 1
+
+    def _variable_for(self, viewer_id: str, component: str):
+        extension = self._extensions[viewer_id]
+        if component in extension:
+            return extension.variable(component)
+        return self.document.network.variable(component)
+
+    @property
+    def shared_choices(self) -> dict[str, str]:
+        return dict(self._shared_choices)
+
+    def personal_choices(self, viewer_id: str) -> dict[str, str]:
+        self._require_viewer(viewer_id)
+        return dict(self._personal_choices[viewer_id])
+
+    # ----- operations (§4.2) ------------------------------------------------------
+
+    def apply_operation(
+        self,
+        viewer_id: str,
+        component: str,
+        operation: str,
+        global_importance: bool = False,
+    ) -> OperationVariable:
+        """A viewer performed an operation on a component.
+
+        The new operation variable's *active value* is the form the
+        component currently takes in this viewer's presentation. With
+        ``global_importance`` the shared network is updated for everyone;
+        otherwise only this viewer's extension grows.
+        """
+        self._require_viewer(viewer_id)
+        current = self.presentation_for(viewer_id).outcome
+        if component not in current:
+            raise DocumentError(f"no component {component!r} in {self.document.doc_id!r}")
+        active_value = current[component]
+        if global_importance:
+            from repro.cpnet.updates import apply_operation as apply_global
+
+            self._shared_version += 1
+            return apply_global(self.document.network, component, operation, active_value)
+        self._bump_viewer(viewer_id)
+        return self._extensions[viewer_id].apply_operation(component, operation, active_value)
+
+    # ----- presentation computation ---------------------------------------------------
+
+    def presentation_for(self, viewer_id: str, now: float = 0.0) -> PresentationSpec:
+        """The optimal presentation of the document for *viewer_id*.
+
+        Memoized on the (shared, viewer) version pair, so recomputation
+        happens only when something that could affect this viewer changed
+        — propagating one member's personal choice does not re-reason
+        about every other member.
+        """
+        self._require_viewer(viewer_id)
+        versions = (
+            self._shared_version,
+            self._viewer_versions.get(viewer_id, 0),
+        )
+        cached = self._spec_cache.get(viewer_id)
+        if cached is not None and cached[:2] == versions:
+            self.cache_hits += 1
+            return cached[2]
+        self.cache_misses += 1
+        extension = self._extensions[viewer_id]
+        evidence: dict[str, str] = {}
+        for component, value in self._shared_choices.items():
+            if component in extension:  # shared choices on base or own extension vars
+                evidence[component] = value
+        for component, value in self._personal_choices[viewer_id].items():
+            evidence[component] = value
+        outcome = extension.best_completion(evidence)
+        outcome = self.document._enforce_subtree_hiding(outcome)
+        spec = build_spec(self.document, viewer_id, outcome, computed_at=now)
+        self._spec_cache[viewer_id] = (versions[0], versions[1], spec)
+        return spec
+
+    def presentations(self, now: float = 0.0) -> dict[str, PresentationSpec]:
+        """Specs for every registered viewer."""
+        return {v: self.presentation_for(v, now=now) for v in self.viewer_ids}

@@ -1,0 +1,113 @@
+"""Explaining a presentation: why is each component shown this way?
+
+An authoring-tool / UI affordance on top of the CP-net semantics: for a
+computed outcome, attribute every component's value to its cause — an
+explicit viewer choice (shared or personal), subtree hiding, or the
+specific author rule that fired (with the parent values that selected
+it). The explanation is exact: it names the rule object the CPT lookup
+used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.document.component import COMPOSITE_HIDDEN
+from repro.document.document import MultimediaDocument
+from repro.presentation.engine import PresentationEngine
+
+SOURCE_SHARED_CHOICE = "shared-choice"
+SOURCE_PERSONAL_CHOICE = "personal-choice"
+SOURCE_AUTHOR_RULE = "author-rule"
+SOURCE_SUBTREE_HIDDEN = "subtree-hidden"
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Why one component takes its value in an outcome."""
+
+    component: str
+    value: str
+    source: str
+    rule: str | None = None          # the fired author rule, rendered
+    conditions: tuple[tuple[str, str], ...] = ()  # parent values that selected it
+
+    def describe(self) -> str:
+        if self.source == SOURCE_SHARED_CHOICE:
+            return f"{self.component} = {self.value}: chosen explicitly (shared by the room)"
+        if self.source == SOURCE_PERSONAL_CHOICE:
+            return f"{self.component} = {self.value}: chosen explicitly (this viewer only)"
+        if self.source == SOURCE_SUBTREE_HIDDEN:
+            holder = self.conditions[0][0] if self.conditions else "an ancestor"
+            return f"{self.component} = {self.value}: hidden because {holder} is hidden"
+        because = (
+            " because " + ", ".join(f"{n}={v}" for n, v in self.conditions)
+            if self.conditions
+            else " (unconditional)"
+        )
+        return f"{self.component} = {self.value}: author preference{because}"
+
+
+def _hiding_ancestor(document: MultimediaDocument, path: str, outcome: Mapping[str, str]) -> str | None:
+    """The nearest ancestor composite hidden in *outcome*, if any."""
+    node = document.component(path)
+    ancestor = node.parent
+    while ancestor is not None and not ancestor.is_root:
+        if outcome.get(ancestor.path) == COMPOSITE_HIDDEN:
+            return ancestor.path
+        ancestor = ancestor.parent
+    return None
+
+
+def explain_outcome(
+    document: MultimediaDocument,
+    outcome: Mapping[str, str],
+    shared_choices: Mapping[str, str] | None = None,
+    personal_choices: Mapping[str, str] | None = None,
+) -> dict[str, Explanation]:
+    """Attribute every component's value in *outcome* to its cause.
+
+    Precedence mirrors the engine's: personal choice > shared choice >
+    subtree hiding > the author rule that actually fired.
+    """
+    shared = dict(shared_choices or {})
+    personal = dict(personal_choices or {})
+    network = document.network
+    components = document.components()
+    explanations: dict[str, Explanation] = {}
+    for path, value in outcome.items():
+        if path in personal:
+            explanations[path] = Explanation(path, value, SOURCE_PERSONAL_CHOICE)
+            continue
+        if path in shared:
+            explanations[path] = Explanation(path, value, SOURCE_SHARED_CHOICE)
+            continue
+        if path in components and value in (COMPOSITE_HIDDEN, "hidden"):
+            holder = _hiding_ancestor(document, path, outcome)
+            if holder is not None:
+                explanations[path] = Explanation(
+                    path, value, SOURCE_SUBTREE_HIDDEN,
+                    conditions=((holder, COMPOSITE_HIDDEN),),
+                )
+                continue
+        if path in network:
+            rule = network.cpt(path).rule_for(outcome)
+            explanations[path] = Explanation(
+                path, value, SOURCE_AUTHOR_RULE,
+                rule=str(rule), conditions=rule.condition,
+            )
+    return explanations
+
+
+def explain_for_viewer(
+    engine: PresentationEngine, viewer_id: str
+) -> dict[str, Explanation]:
+    """Explanations for one viewer's current presentation."""
+    spec = engine.presentation_for(viewer_id)
+    return explain_outcome(
+        engine.document,
+        spec.outcome,
+        shared_choices=engine.shared_choices,
+        personal_choices=engine.personal_choices(viewer_id),
+    )

@@ -1,0 +1,63 @@
+"""Presentation specifications: one computed configuration plus measures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.document.document import MultimediaDocument
+
+
+@dataclass(frozen=True)
+class PresentationSpec:
+    """The outcome of one presentation computation for one viewer.
+
+    ``outcome`` maps every component path (and any operation variables) to
+    its chosen presentation value; the remaining fields are derived
+    measures used by clients, the pre-fetcher and the benchmarks.
+    """
+
+    doc_id: str
+    viewer_id: str
+    outcome: dict[str, str]
+    visible: tuple[str, ...]
+    total_bytes: int
+    computed_at: float = 0.0
+
+    def value(self, path: str) -> str:
+        return self.outcome[path]
+
+    def is_visible(self, path: str) -> bool:
+        return path in self.visible
+
+    def __len__(self) -> int:
+        return len(self.outcome)
+
+
+def build_spec(
+    document: MultimediaDocument,
+    viewer_id: str,
+    outcome: Mapping[str, str],
+    computed_at: float = 0.0,
+) -> PresentationSpec:
+    """Assemble a spec from a raw CP-net outcome."""
+    outcome = dict(outcome)
+    return PresentationSpec(
+        doc_id=document.doc_id,
+        viewer_id=viewer_id,
+        outcome=outcome,
+        visible=document.visible_components(outcome),
+        total_bytes=document.presentation_bytes(outcome),
+        computed_at=computed_at,
+    )
+
+
+def diff_presentations(
+    old: Mapping[str, str] | None, new: Mapping[str, str]
+) -> dict[str, str]:
+    """The changed entries between two outcomes (the paper's
+    "sending only the relevant parts of the object" — clients that hold
+    *old* need exactly this delta to show *new*)."""
+    if old is None:
+        return dict(new)
+    return {path: value for path, value in new.items() if old.get(path) != value}

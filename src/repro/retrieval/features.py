@@ -1,0 +1,81 @@
+"""Compact image descriptors for query-by-example.
+
+The descriptor concatenates two complementary views of an image:
+
+* a normalized 32-bin intensity histogram (what tissue densities are
+  present — CT windows, X-ray exposure);
+* the normalized energy of each wavelet sub-band over a 3-level Haar
+  decomposition (where the detail lives — texture and structure scale).
+
+Both halves are scale-invariant in image size, so phantoms of different
+resolutions compare sensibly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MediaError
+from repro.media.image.image import Image
+from repro.media.image.wavelet import haar_forward
+
+HISTOGRAM_BINS = 32
+WAVELET_LEVELS = 3
+#: 3 detail bands per level + 1 final approximation band.
+DESCRIPTOR_DIM = HISTOGRAM_BINS + 3 * WAVELET_LEVELS + 1
+
+
+def _padded_to_pow2(image: Image, levels: int) -> np.ndarray:
+    """Edge-pad so both sides divide by 2**levels (descriptor-only copy)."""
+    factor = 2 ** levels
+    height = ((image.height + factor - 1) // factor) * factor
+    width = ((image.width + factor - 1) // factor) * factor
+    if (height, width) == image.shape:
+        return image.pixels
+    return np.pad(
+        image.pixels,
+        ((0, height - image.height), (0, width - image.width)),
+        mode="edge",
+    )
+
+
+def image_descriptor(image: Image) -> np.ndarray:
+    """The (DESCRIPTOR_DIM,) feature vector of an image."""
+    histogram, _ = np.histogram(image.pixels, bins=HISTOGRAM_BINS, range=(0, 256))
+    histogram = histogram.astype(np.float64)
+    histogram /= max(histogram.sum(), 1.0)
+
+    pixels = _padded_to_pow2(image, WAVELET_LEVELS)
+    coeffs = haar_forward(pixels, levels=WAVELET_LEVELS)
+    height, width = pixels.shape
+    energies: list[float] = []
+    for level in range(WAVELET_LEVELS):
+        h = height >> level
+        w = width >> level
+        half_h, half_w = h // 2, w // 2
+        # The three detail quadrants of this level (LH, HL, HH).
+        energies.append(float(np.mean(coeffs[:half_h, half_w:w] ** 2)))
+        energies.append(float(np.mean(coeffs[half_h:h, :half_w] ** 2)))
+        energies.append(float(np.mean(coeffs[half_h:h, half_w:w] ** 2)))
+    final_h = height >> WAVELET_LEVELS
+    final_w = width >> WAVELET_LEVELS
+    energies.append(float(np.mean(coeffs[:final_h, :final_w] ** 2)))
+    bands = np.log1p(np.array(energies))
+    bands /= max(np.linalg.norm(bands), 1e-9)
+    return np.concatenate([histogram, bands])
+
+
+def descriptor_distance(first: np.ndarray, second: np.ndarray) -> float:
+    """L2 distance between two descriptors (0 = identical signature)."""
+    first = np.asarray(first, dtype=np.float64)
+    second = np.asarray(second, dtype=np.float64)
+    if first.shape != second.shape:
+        raise MediaError(
+            f"descriptor shape mismatch: {first.shape} vs {second.shape}"
+        )
+    return float(np.linalg.norm(first - second))
+
+
+def descriptor_similarity(first: np.ndarray, second: np.ndarray) -> float:
+    """Distance mapped to (0, 1]: 1 = identical."""
+    return 1.0 / (1.0 + descriptor_distance(first, second))

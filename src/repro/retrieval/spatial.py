@@ -1,0 +1,191 @@
+"""Spatial indexing of image annotations (Samet [16] territory).
+
+Consultation marks carry positions ("marks on the images ... may be
+stored in the file ... for future search and reference"). The point
+quadtree here answers the queries a review tool asks: which marks fall in
+this zoomed region, and which mark is closest to this click?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import DatabaseError
+
+
+@dataclass(frozen=True)
+class SpatialHit:
+    """One indexed point with its payload."""
+
+    x: float
+    y: float
+    payload: Any
+
+
+class _Node:
+    __slots__ = ("x0", "y0", "x1", "y1", "points", "children")
+
+    CAPACITY = 8
+
+    def __init__(self, x0: float, y0: float, x1: float, y1: float) -> None:
+        self.x0, self.y0, self.x1, self.y1 = x0, y0, x1, y1
+        self.points: list[SpatialHit] = []
+        self.children: list["_Node"] | None = None
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+    def intersects(self, x0: float, y0: float, x1: float, y1: float) -> bool:
+        return not (x1 < self.x0 or x0 > self.x1 or y1 < self.y0 or y0 > self.y1)
+
+    def _split(self) -> None:
+        mx = (self.x0 + self.x1) / 2
+        my = (self.y0 + self.y1) / 2
+        self.children = [
+            _Node(self.x0, self.y0, mx, my),
+            _Node(mx, self.y0, self.x1, my),
+            _Node(self.x0, my, mx, self.y1),
+            _Node(mx, my, self.x1, self.y1),
+        ]
+        for hit in self.points:
+            self._child_for(hit.x, hit.y).insert(hit)
+        self.points = []
+
+    def _child_for(self, x: float, y: float) -> "_Node":
+        assert self.children is not None
+        mx = (self.x0 + self.x1) / 2
+        my = (self.y0 + self.y1) / 2
+        index = (1 if x > mx else 0) + (2 if y > my else 0)
+        return self.children[index]
+
+    def insert(self, hit: SpatialHit) -> None:
+        if self.children is not None:
+            self._child_for(hit.x, hit.y).insert(hit)
+            return
+        self.points.append(hit)
+        degenerate = (self.x1 - self.x0) < 1e-9 or (self.y1 - self.y0) < 1e-9
+        if len(self.points) > self.CAPACITY and not degenerate:
+            self._split()
+
+    def query_rect(
+        self, x0: float, y0: float, x1: float, y1: float, out: list[SpatialHit]
+    ) -> None:
+        if not self.intersects(x0, y0, x1, y1):
+            return
+        if self.children is not None:
+            for child in self.children:
+                child.query_rect(x0, y0, x1, y1, out)
+            return
+        for hit in self.points:
+            if x0 <= hit.x <= x1 and y0 <= hit.y <= y1:
+                out.append(hit)
+
+    def nearest(self, x: float, y: float, best: tuple[float, SpatialHit | None]) -> tuple[float, SpatialHit | None]:
+        # Prune: minimal possible distance from (x, y) to this cell.
+        dx = max(self.x0 - x, 0.0, x - self.x1)
+        dy = max(self.y0 - y, 0.0, y - self.y1)
+        if dx * dx + dy * dy >= best[0]:
+            return best
+        if self.children is not None:
+            # Visit children nearest-first for better pruning.
+            ordered = sorted(
+                self.children,
+                key=lambda c: max(c.x0 - x, 0.0, x - c.x1) ** 2
+                + max(c.y0 - y, 0.0, y - c.y1) ** 2,
+            )
+            for child in ordered:
+                best = child.nearest(x, y, best)
+            return best
+        for hit in self.points:
+            distance = (hit.x - x) ** 2 + (hit.y - y) ** 2
+            if distance < best[0]:
+                best = (distance, hit)
+        return best
+
+
+class Quadtree:
+    """A bounded point quadtree."""
+
+    def __init__(self, width: float, height: float) -> None:
+        if width <= 0 or height <= 0:
+            raise DatabaseError(f"bounds must be positive, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self._root = _Node(0.0, 0.0, width, height)
+        self._count = 0
+
+    def insert(self, x: float, y: float, payload: Any = None) -> SpatialHit:
+        if not self._root.contains(x, y):
+            raise DatabaseError(
+                f"point ({x}, {y}) outside bounds {self.width}x{self.height}"
+            )
+        hit = SpatialHit(x=x, y=y, payload=payload)
+        self._root.insert(hit)
+        self._count += 1
+        return hit
+
+    def __len__(self) -> int:
+        return self._count
+
+    def query_rect(self, x0: float, y0: float, x1: float, y1: float) -> list[SpatialHit]:
+        """All points within the axis-aligned rectangle (inclusive)."""
+        if x1 < x0 or y1 < y0:
+            raise DatabaseError(f"empty rectangle ({x0},{y0})-({x1},{y1})")
+        out: list[SpatialHit] = []
+        self._root.query_rect(x0, y0, x1, y1, out)
+        out.sort(key=lambda h: (h.y, h.x))
+        return out
+
+    def nearest(self, x: float, y: float) -> SpatialHit | None:
+        """The indexed point closest to (x, y); None when empty."""
+        if self._count == 0:
+            return None
+        _, hit = self._root.nearest(x, y, (float("inf"), None))
+        return hit
+
+
+class AnnotationSpatialIndex:
+    """Quadtree over a document's stored annotations.
+
+    Built from :meth:`MultimediaObjectStore.annotations_for`; annotations
+    without ``x``/``y`` (e.g. whole-component notes) are skipped.
+    """
+
+    def __init__(self, width: float, height: float) -> None:
+        self._tree = Quadtree(width, height)
+        self.skipped = 0
+
+    @classmethod
+    def from_store(
+        cls, store, doc_id: str, component: str, width: float, height: float
+    ) -> "AnnotationSpatialIndex":
+        index = cls(width, height)
+        for row in store.annotations_for(doc_id, component=component):
+            data = row["FLD_DATA"]
+            index.add(data, viewer=row["FLD_VIEWER"])
+        return index
+
+    def add(self, annotation: dict[str, Any], viewer: str | None = None) -> bool:
+        x = annotation.get("x")
+        y = annotation.get("y")
+        if not isinstance(x, (int, float)) or not isinstance(y, (int, float)):
+            self.skipped += 1
+            return False
+        payload = dict(annotation)
+        if viewer is not None:
+            payload["viewer"] = viewer
+        self._tree.insert(float(x), float(y), payload)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def marks_in_region(self, x0: float, y0: float, x1: float, y1: float) -> list[dict[str, Any]]:
+        """Annotations inside a zoomed region."""
+        return [hit.payload for hit in self._tree.query_rect(x0, y0, x1, y1)]
+
+    def mark_near(self, x: float, y: float) -> dict[str, Any] | None:
+        """The annotation nearest a click."""
+        hit = self._tree.nearest(x, y)
+        return hit.payload if hit is not None else None

@@ -1,0 +1,460 @@
+"""The interaction server.
+
+Implements the paper's use cases (Fig. 4): document retrieval into shared
+rooms, continuous receipt of viewer choices, recomputation of optimal
+presentations and propagation of "only the relevant parts of the object"
+to every client in the room. Works in two modes:
+
+* **direct** — methods called in-process (unit tests, benchmarks that
+  measure pure server work);
+* **networked** — attached as the hub of a
+  :class:`~repro.net.network.SimulatedNetwork`; protocol messages arrive
+  via :meth:`receive` and responses are sent with honest wire sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import RoomError, ServerError
+from repro.db.orm import MultimediaObjectStore
+from repro.document.document import MultimediaDocument
+from repro.net.message import Message
+from repro.net.network import SimulatedNetwork
+from repro.presentation.spec import PresentationSpec, diff_presentations
+from repro.server.permissions import (
+    PERM_ANNOTATE,
+    PERM_CHOOSE,
+    PERM_MODIFY,
+    PERM_VIEW,
+    PermissionPolicy,
+)
+from repro.server.protocol import MessageKind, encoded_size
+from repro.server.room import Room
+from repro.server.session import Session
+from repro.util.ids import IdGenerator
+
+
+class InteractionServer:
+    """Sessions + rooms + database access + change propagation."""
+
+    def __init__(
+        self,
+        store: MultimediaObjectStore,
+        policy: PermissionPolicy | None = None,
+        network: SimulatedNetwork | None = None,
+        node_id: str = "server",
+        diff_propagation: bool = True,
+        use_profiles: bool = False,
+    ) -> None:
+        self.store = store
+        self.policy = policy if policy is not None else PermissionPolicy()
+        self.node_id = node_id
+        self.network = network
+        self.diff_propagation = diff_propagation
+        self.use_profiles = use_profiles
+        self._profiles: dict[str, Any] = {}
+        self._ids = IdGenerator()
+        self._sessions: dict[str, Session] = {}
+        self._rooms: dict[str, Room] = {}
+        self._rooms_by_doc: dict[str, str] = {}
+        from repro.server.triggers import TriggerManager
+
+        self.triggers = TriggerManager()
+        if network is not None:
+            network.attach_hub(self)
+
+    # ----- sessions -----------------------------------------------------------------
+
+    def connect_session(self, viewer_id: str, node_id: str | None = None) -> Session:
+        session = Session(
+            session_id=self._ids.next("session"),
+            viewer_id=viewer_id,
+            node_id=node_id if node_id is not None else viewer_id,
+        )
+        self._sessions[session.session_id] = session
+        return session
+
+    def disconnect_session(self, session_id: str) -> None:
+        session = self._session(session_id)
+        if session.in_room:
+            self.leave_room(session_id)
+        if self.use_profiles and session.viewer_id in self._profiles:
+            self.store.save_profile(self._profiles[session.viewer_id])
+        del self._sessions[session_id]
+
+    def _session(self, session_id: str) -> Session:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise ServerError(f"unknown session {session_id!r}") from None
+
+    @property
+    def session_ids(self) -> tuple[str, ...]:
+        return tuple(self._sessions)
+
+    # ----- rooms ----------------------------------------------------------------------
+
+    @property
+    def room_ids(self) -> tuple[str, ...]:
+        return tuple(self._rooms)
+
+    def room(self, room_id: str) -> Room:
+        try:
+            return self._rooms[room_id]
+        except KeyError:
+            raise RoomError(f"no room {room_id!r}") from None
+
+    def open_room(self, doc_id: str) -> Room:
+        """Bring a document from the database into a (new or existing) room."""
+        if doc_id in self._rooms_by_doc:
+            return self._rooms[self._rooms_by_doc[doc_id]]
+        document = self.store.fetch_document(doc_id)
+        room = Room(self._ids.next("room"), document)
+        self._rooms[room.room_id] = room
+        self._rooms_by_doc[doc_id] = room.room_id
+        return room
+
+    def join_room(self, session_id: str, doc_id: str) -> tuple[Room, PresentationSpec]:
+        """Fig. 4(a): retrieve the document and its initial presentation."""
+        session = self._session(session_id)
+        self.policy.require(session.viewer_id, PERM_VIEW)
+        if session.in_room:
+            raise RoomError(f"session {session_id!r} is already in {session.room_id!r}")
+        room = self.open_room(doc_id)
+        room.join(session_id, session.viewer_id)
+        session.room_id = room.room_id
+        if self.use_profiles:
+            profile = self._profile_of(session.viewer_id)
+            # Replay stable habits as personal evidence: the frequent
+            # viewer's usual presentation greets them on join (§4's
+            # optional long-term learning).
+            from repro.presentation.engine import PERSONAL, ViewerChoice
+
+            for component, value in profile.habits_for(room.document).items():
+                room.engine.apply_choice(
+                    ViewerChoice(session.viewer_id, component, value, scope=PERSONAL)
+                )
+        spec = room.presentation_for(session.viewer_id, now=self._now())
+        session.remember_spec(doc_id, spec.outcome)
+        return room, spec
+
+    def _profile_of(self, viewer_id: str):
+        if viewer_id not in self._profiles:
+            self._profiles[viewer_id] = self.store.load_profile(viewer_id)
+        return self._profiles[viewer_id]
+
+    def leave_room(self, session_id: str) -> None:
+        """Leave; when the room empties, persist the document and close it."""
+        session = self._session(session_id)
+        if not session.in_room:
+            raise RoomError(f"session {session_id!r} is not in a room")
+        room = self.room(session.room_id)
+        room.leave(session_id)
+        session.forget_spec(room.document.doc_id)
+        session.room_id = None
+        if room.is_empty:
+            self.store.store_document(room.document)
+            # "The results of the discussions ... may be stored in the
+            # file ... for future search and reference" (paper §1).
+            for component, entries in room.annotations.items():
+                for entry in entries:
+                    data = {k: v for k, v in entry.items() if k != "viewer"}
+                    self.store.store_annotation(
+                        room.document.doc_id, component, entry["viewer"], data
+                    )
+            del self._rooms[room.room_id]
+            del self._rooms_by_doc[room.document.doc_id]
+
+    # ----- cooperative actions -------------------------------------------------------------
+
+    def handle_choice(
+        self, session_id: str, component: str, value: str, scope: str = "shared"
+    ) -> dict[str, dict[str, str]]:
+        """Fig. 4(b): record the choice, recompute, propagate diffs.
+
+        Returns ``{session_id: presentation-diff}`` for every member whose
+        display changes (also sent over the network when attached).
+        """
+        session, room = self._session_room(session_id)
+        self.policy.require(session.viewer_id, PERM_CHOOSE)
+        change = room.apply_choice(session.viewer_id, component, value, scope)
+        if self.use_profiles:
+            self._profile_of(session.viewer_id).record_choice(component, value)
+        return self._propagate(room, change)
+
+    def handle_operation(
+        self,
+        session_id: str,
+        component: str,
+        operation: str,
+        global_importance: bool = False,
+    ) -> dict[str, dict[str, str]]:
+        session, room = self._session_room(session_id)
+        self.policy.require(session.viewer_id, PERM_ANNOTATE)
+        _, change = room.apply_operation(
+            session.viewer_id, component, operation, global_importance=global_importance
+        )
+        return self._propagate(room, change)
+
+    def handle_annotation(
+        self, session_id: str, component: str, annotation: dict[str, Any]
+    ) -> dict[str, dict[str, str]]:
+        session, room = self._session_room(session_id)
+        self.policy.require(session.viewer_id, PERM_ANNOTATE)
+        change = room.annotate(session.viewer_id, component, annotation)
+        return self._propagate(room, change)
+
+    def handle_freeze(self, session_id: str, component: str) -> None:
+        session, room = self._session_room(session_id)
+        self.policy.require(session.viewer_id, PERM_ANNOTATE)
+        change = room.freeze(session.viewer_id, component)
+        self._propagate(room, change)
+
+    def handle_release(self, session_id: str, component: str) -> None:
+        session, room = self._session_room(session_id)
+        change = room.release(session.viewer_id, component)
+        self._propagate(room, change)
+
+    def store_document(self, session_id: str, document: MultimediaDocument) -> None:
+        """Explicitly persist a document (requires modify permission)."""
+        session = self._session(session_id)
+        self.policy.require(session.viewer_id, PERM_MODIFY)
+        self.store.store_document(document)
+
+    def fetch_payload(self, session_id: str, media_ref: str) -> bytes:
+        """Stream one presentation payload to a client by blob reference."""
+        session = self._session(session_id)
+        self.policy.require(session.viewer_id, PERM_VIEW)
+        _, payload = self.store.fetch(media_ref)
+        if self.network is not None:
+            self.network.send(
+                self.node_id, session.node_id, MessageKind.PAYLOAD,
+                payload={"media_ref": media_ref, "data": payload},
+                size_bytes=encoded_size({"media_ref": media_ref, "data": payload}),
+            )
+        return payload
+
+    def fetch_component_payload(
+        self, session_id: str, component: str, value: str
+    ) -> int:
+        """Stream the payload of one presentation alternative to a client.
+
+        The wire is charged the presentation's full byte size; the message
+        body itself only describes the payload, so benchmarks measure
+        transfer time without allocating megabytes per image.
+        """
+        session, room = self._session_room(session_id)
+        self.policy.require(session.viewer_id, PERM_VIEW)
+        node = room.document.component(component)
+        size = node.presentation_size(value)
+        if self.network is not None:
+            body = {"component": component, "value": value, "size": size}
+            self.network.send(
+                self.node_id, session.node_id, MessageKind.PAYLOAD,
+                payload=body, size_bytes=max(size, encoded_size(body)),
+            )
+        return size
+
+    def fetch_zoom_region(
+        self,
+        session_id: str,
+        media_ref: str,
+        top: int,
+        left: int,
+        height: int,
+        width: int,
+        factor: int = 2,
+    ) -> bytes:
+        """Server-side zoom: crop-and-magnify a stored image payload.
+
+        The image module's "zooming of a selected part of image" executed
+        where the pixels live — only the magnified region crosses the
+        wire, not the full study.
+        """
+        from repro.media.image.image import Image
+        from repro.media.image.ops import zoom
+
+        session = self._session(session_id)
+        self.policy.require(session.viewer_id, PERM_VIEW)
+        _, payload = self.store.fetch(media_ref)
+        zoomed = zoom(Image.from_bytes(payload), top, left, height, width, factor=factor)
+        region_bytes = zoomed.to_bytes()
+        if self.network is not None:
+            body = {
+                "media_ref": media_ref,
+                "rect": [top, left, height, width],
+                "factor": factor,
+                "data": region_bytes,
+            }
+            self.network.send(
+                self.node_id, session.node_id, MessageKind.PAYLOAD,
+                payload=body, size_bytes=encoded_size(body),
+            )
+        return region_bytes
+
+    def _session_room(self, session_id: str) -> tuple[Session, Room]:
+        session = self._session(session_id)
+        if not session.in_room:
+            raise RoomError(f"session {session_id!r} is not in a room")
+        return session, self.room(session.room_id)
+
+    # ----- propagation -----------------------------------------------------------------------
+
+    def _propagate(self, room: Room, change: Any) -> dict[str, dict[str, str]]:
+        """Recompute every member's presentation and ship what changed."""
+        doc_id = room.document.doc_id
+        updates: dict[str, dict[str, str]] = {}
+        for member_id in room.member_sessions:
+            member = self._session(member_id)
+            spec = room.presentation_for(member.viewer_id, now=self._now())
+            if self.diff_propagation:
+                delta = diff_presentations(member.known_spec(doc_id), spec.outcome)
+            else:
+                delta = dict(spec.outcome)
+            if not delta:
+                continue
+            updates[member_id] = delta
+            member.remember_spec(doc_id, spec.outcome)
+            if self.network is not None:
+                body = {"doc_id": doc_id, "changes": delta, "seq": change.seq}
+                self.network.send(
+                    self.node_id, member.node_id, MessageKind.PRESENTATION_UPDATE,
+                    payload=body, size_bytes=encoded_size(body),
+                )
+        if self.network is not None:
+            event_body = {
+                "doc_id": doc_id, "seq": change.seq,
+                "viewer": change.viewer_id, "kind": change.kind, "data": change.data,
+            }
+            for member_id in room.member_sessions:
+                member = self._session(member_id)
+                if member.viewer_id == change.viewer_id:
+                    continue
+                self.network.send(
+                    self.node_id, member.node_id, MessageKind.PEER_EVENT,
+                    payload=event_body, size_bytes=encoded_size(event_body),
+                )
+        self.triggers.dispatch(room, change)
+        return updates
+
+    def broadcast(
+        self, payload: dict[str, Any], room_id: str | None = None
+    ) -> int:
+        """Push a server-originated message to every session (of a room).
+
+        Returns the number of sessions reached. Without a network the
+        broadcast is a no-op beyond the count (direct-mode callers poll
+        room state instead).
+        """
+        if room_id is not None:
+            room = self.room(room_id)
+            targets = [self._session(s) for s in room.member_sessions]
+        else:
+            targets = list(self._sessions.values())
+        if self.network is not None:
+            for session in targets:
+                self.network.send(
+                    self.node_id, session.node_id, MessageKind.BROADCAST,
+                    payload=payload, size_bytes=encoded_size(payload),
+                )
+        return len(targets)
+
+    def _now(self) -> float:
+        return self.network.clock.now if self.network is not None else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        """Operational snapshot: rooms, sessions, buffers, engine caches."""
+        return {
+            "sessions": len(self._sessions),
+            "rooms": len(self._rooms),
+            "viewers_in_rooms": sum(len(r.viewer_ids) for r in self._rooms.values()),
+            "buffered_changes": sum(r.buffer_size for r in self._rooms.values()),
+            "frozen_components": sum(
+                1
+                for room in self._rooms.values()
+                for path in room.document.component_paths()
+                if room.frozen_by(path) is not None
+            ),
+            "spec_cache_hits": sum(r.engine.cache_hits for r in self._rooms.values()),
+            "spec_cache_misses": sum(r.engine.cache_misses for r in self._rooms.values()),
+            "triggers": len(self.triggers.triggers),
+        }
+
+    # ----- network glue ------------------------------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        """Dispatch one protocol message from a client node."""
+        payload = message.payload or {}
+        try:
+            self._dispatch(message.sender, message.kind, payload)
+        except Exception as exc:  # protocol errors go back to the client
+            if self.network is not None:
+                body = {"error": type(exc).__name__, "detail": str(exc)}
+                self.network.send(
+                    self.node_id, message.sender, MessageKind.ERROR,
+                    payload=body, size_bytes=encoded_size(body),
+                )
+            else:
+                raise
+
+    def _dispatch(self, sender_node: str, kind: str, payload: dict[str, Any]) -> None:
+        if kind == MessageKind.JOIN:
+            session = self.connect_session(payload["viewer_id"], node_id=sender_node)
+            room, spec = self.join_room(session.session_id, payload["doc_id"])
+            body = {
+                "session_id": session.session_id,
+                "room_id": room.room_id,
+                "doc_id": room.document.doc_id,
+                "outcome": spec.outcome,
+                "structure": [
+                    {
+                        "path": p,
+                        "domain": list(c.domain),
+                        "sizes": {v: c.presentation_size(v) for v in c.domain},
+                    }
+                    for p, c in room.document.components().items()
+                ],
+            }
+            if self.network is not None:
+                self.network.send(
+                    self.node_id, sender_node, MessageKind.JOIN_ACK,
+                    payload=body, size_bytes=encoded_size(body),
+                )
+            return
+        session_id = payload["session_id"]
+        if kind == MessageKind.LEAVE:
+            self.disconnect_session(session_id)
+        elif kind == MessageKind.CHOICE:
+            self.handle_choice(
+                session_id, payload["component"], payload["value"],
+                scope=payload.get("scope", "shared"),
+            )
+        elif kind == MessageKind.OPERATION:
+            self.handle_operation(
+                session_id, payload["component"], payload["operation"],
+                global_importance=payload.get("global", False),
+            )
+        elif kind == MessageKind.ANNOTATE:
+            self.handle_annotation(
+                session_id, payload["component"], payload.get("annotation", {})
+            )
+        elif kind == MessageKind.FREEZE:
+            self.handle_freeze(session_id, payload["component"])
+        elif kind == MessageKind.RELEASE:
+            self.handle_release(session_id, payload["component"])
+        elif kind == MessageKind.FETCH_PAYLOAD:
+            if "rect" in payload:
+                top, left, height, width = payload["rect"]
+                self.fetch_zoom_region(
+                    session_id, payload["media_ref"], top, left, height, width,
+                    factor=payload.get("factor", 2),
+                )
+            elif "media_ref" in payload:
+                self.fetch_payload(session_id, payload["media_ref"])
+            else:
+                self.fetch_component_payload(
+                    session_id, payload["component"], payload["value"]
+                )
+        else:
+            raise ServerError(f"unknown message kind {kind!r}")

@@ -1,0 +1,59 @@
+"""The client/server message vocabulary and wire-size accounting.
+
+The simulated network charges links by declared byte size, so every
+payload crossing the wire is sized by :func:`encoded_size` — the length
+of its canonical JSON encoding (blob payload bytes are counted at full
+length). This keeps benchmark E9's bytes-on-wire numbers honest.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+class MessageKind:
+    """Protocol message kinds (client->server and server->client)."""
+
+    # client -> server
+    JOIN = "join"
+    LEAVE = "leave"
+    CHOICE = "choice"
+    OPERATION = "operation"
+    FREEZE = "freeze"
+    RELEASE = "release"
+    FETCH_PAYLOAD = "fetch_payload"
+    ANNOTATE = "annotate"
+
+    # server -> client
+    JOIN_ACK = "join_ack"
+    PRESENTATION_UPDATE = "presentation_update"
+    PEER_EVENT = "peer_event"
+    PAYLOAD = "payload"
+    BROADCAST = "broadcast"
+    ERROR = "error"
+
+    CLIENT_KINDS = (JOIN, LEAVE, CHOICE, OPERATION, FREEZE, RELEASE, FETCH_PAYLOAD, ANNOTATE)
+    SERVER_KINDS = (JOIN_ACK, PRESENTATION_UPDATE, PEER_EVENT, PAYLOAD, BROADCAST, ERROR)
+
+
+def encoded_size(payload: Any) -> int:
+    """Bytes this payload would occupy on the wire.
+
+    JSON-encodes the structure; embedded ``bytes`` values are charged at
+    their raw length (they would be framed binary, not base64, in a real
+    protocol).
+    """
+    return _sizeof(payload)
+
+
+def _sizeof(value: Any) -> int:
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, dict):
+        overhead = 2 + max(0, len(value) - 1)  # braces + commas
+        return overhead + sum(_sizeof(k) + 1 + _sizeof(v) for k, v in value.items())
+    if isinstance(value, (list, tuple)):
+        overhead = 2 + max(0, len(value) - 1)
+        return overhead + sum(_sizeof(item) for item in value)
+    return len(json.dumps(value, default=str))

@@ -1,0 +1,35 @@
+"""Client sessions known to the interaction server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Session:
+    """One connected client module.
+
+    ``node_id`` is the network address; ``viewer_id`` the human identity
+    used for permissions and per-viewer presentation state. A session is
+    in at most one room at a time (matching the prototype's GUI).
+    """
+
+    session_id: str
+    viewer_id: str
+    node_id: str
+    room_id: str | None = None
+    last_spec: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    @property
+    def in_room(self) -> bool:
+        return self.room_id is not None
+
+    def remember_spec(self, doc_id: str, outcome: dict[str, str]) -> None:
+        """Track what this client currently displays (for diff propagation)."""
+        self.last_spec[doc_id] = dict(outcome)
+
+    def known_spec(self, doc_id: str) -> dict[str, str] | None:
+        return self.last_spec.get(doc_id)
+
+    def forget_spec(self, doc_id: str) -> None:
+        self.last_spec.pop(doc_id, None)

@@ -1,0 +1,14 @@
+"""Small shared utilities: id generation, validation helpers, sizes."""
+
+from repro.util.ids import IdGenerator, new_id
+from repro.util.sizes import human_size
+from repro.util.validation import check_identifier, check_positive, check_probability
+
+__all__ = [
+    "IdGenerator",
+    "new_id",
+    "human_size",
+    "check_identifier",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,43 @@
+"""Deterministic identifier generation.
+
+The simulation layers (server, rooms, transfers) need ids that are unique
+*and* reproducible run-to-run, so tests and benchmarks are deterministic.
+We therefore use per-prefix counters rather than UUIDs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import defaultdict
+
+
+class IdGenerator:
+    """Thread-safe generator of ids like ``"room-1"``, ``"room-2"``, ...
+
+    Each :class:`IdGenerator` keeps an independent counter per prefix, so a
+    fresh generator always restarts numbering — which is what simulations
+    want for reproducibility.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, itertools.count] = defaultdict(lambda: itertools.count(1))
+        self._lock = threading.Lock()
+
+    def next(self, prefix: str) -> str:
+        """Return the next id for *prefix*."""
+        with self._lock:
+            return f"{prefix}-{next(self._counters[prefix])}"
+
+    def reset(self) -> None:
+        """Restart every counter at 1."""
+        with self._lock:
+            self._counters.clear()
+
+
+_default_generator = IdGenerator()
+
+
+def new_id(prefix: str) -> str:
+    """Return a process-wide unique id with the given *prefix*."""
+    return _default_generator.next(prefix)

@@ -1,0 +1,25 @@
+"""Byte-size formatting helpers."""
+
+from __future__ import annotations
+
+_UNITS = ["B", "KB", "MB", "GB", "TB"]
+
+
+def human_size(num_bytes: int) -> str:
+    """Render a byte count like ``"1.5 MB"`` (powers of 1024).
+
+    >>> human_size(0)
+    '0 B'
+    >>> human_size(1536)
+    '1.5 KB'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"size must be >= 0, got {num_bytes}")
+    size = float(num_bytes)
+    for unit in _UNITS:
+        if size < 1024 or unit == _UNITS[-1]:
+            if unit == "B":
+                return f"{int(size)} {unit}"
+            return f"{size:.1f} {unit}"
+        size /= 1024
+    raise AssertionError("unreachable")

@@ -1,0 +1,38 @@
+"""Input-validation helpers used across subsystems."""
+
+from __future__ import annotations
+
+import re
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+
+def check_identifier(name: str, what: str = "identifier") -> str:
+    """Validate that *name* is a usable symbolic name and return it.
+
+    Names are used as dict keys, protocol fields and file-name fragments,
+    so we restrict them to a safe alphabet.
+    """
+    if not isinstance(name, str):
+        raise TypeError(f"{what} must be a string, got {type(name).__name__}")
+    if not _IDENTIFIER_RE.match(name):
+        raise ValueError(f"invalid {what}: {name!r}")
+    return name
+
+
+def check_positive(value: float, what: str = "value") -> float:
+    """Validate that *value* is a finite positive number and return it."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{what} must be a number, got {type(value).__name__}")
+    if not value > 0 or value != value or value in (float("inf"), float("-inf")):
+        raise ValueError(f"{what} must be finite and > 0, got {value!r}")
+    return value
+
+
+def check_probability(value: float, what: str = "probability") -> float:
+    """Validate that *value* lies in [0, 1] and return it."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{what} must be a number, got {type(value).__name__}")
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{what} must be in [0, 1], got {value!r}")
+    return float(value)

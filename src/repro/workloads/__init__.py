@@ -1,0 +1,19 @@
+"""Synthetic workloads for examples, tests and benchmarks.
+
+* :mod:`repro.workloads.records` — generated medical-record documents of
+  controlled size/shape (the corpus behind the database and room
+  benchmarks);
+* :mod:`repro.workloads.sessions` — scripted viewer behaviour: sequences
+  of presentation choices that are mostly preference-plausible with a
+  controllable fraction of surprises (what the prefetch study replays).
+"""
+
+from repro.workloads.records import generate_record, generate_record_corpus
+from repro.workloads.sessions import consultation_events, random_choice_events
+
+__all__ = [
+    "consultation_events",
+    "generate_record",
+    "generate_record_corpus",
+    "random_choice_events",
+]

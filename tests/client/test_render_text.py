@@ -1,0 +1,83 @@
+"""Unit tests for the Figure 5 text rendering of the client window."""
+
+import pytest
+
+from repro.client import ClientModule, RenderTree
+from repro.db import Database, MultimediaObjectStore
+from repro.document import build_sample_medical_record
+from repro.net import SimulatedNetwork
+from repro.server import InteractionServer
+
+
+STRUCTURE = [
+    {"path": "imaging", "domain": ["shown", "hidden"]},
+    {"path": "imaging.ct", "domain": ["flat", "icon", "hidden"]},
+    {"path": "imaging.xray", "domain": ["flat", "icon", "hidden"]},
+    {"path": "notes", "domain": ["full", "hidden"]},
+]
+
+
+@pytest.fixture
+def tree():
+    tree = RenderTree("doc-1", STRUCTURE)
+    tree.apply_update(
+        {"imaging": "shown", "imaging.ct": "flat", "imaging.xray": "icon", "notes": "full"}
+    )
+    return tree
+
+
+class TestRenderText:
+    def test_shows_document_and_hierarchy(self, tree):
+        text = tree.render_text()
+        lines = text.splitlines()
+        assert lines[0] == "doc-1"
+        assert any("├─ imaging: shown" in line for line in lines)
+        # Children are indented under their parent.
+        ct_line = next(line for line in lines if "ct:" in line)
+        assert ct_line.startswith("│  ")
+
+    def test_loading_marker(self, tree):
+        text = tree.render_text()
+        assert "ct: flat (loading)" in text
+        tree.mark_payload_ready("imaging.ct")
+        assert "ct: flat (loading)" not in tree.render_text()
+        assert "ct: flat" in tree.render_text()
+
+    def test_composites_never_loading(self, tree):
+        assert "imaging: shown (loading)" not in tree.render_text()
+
+    def test_hidden_not_loading(self, tree):
+        tree.apply_update({"imaging.ct": "hidden"})
+        assert "ct: hidden (loading)" not in tree.render_text()
+
+    def test_unset_values_render_bare(self):
+        tree = RenderTree("doc-1", STRUCTURE)
+        text = tree.render_text()
+        assert "notes" in text
+        assert "notes:" not in text  # no value yet
+
+    def test_last_sibling_connector(self, tree):
+        lines = tree.render_text().splitlines()
+        assert lines[-1].startswith("└─ ")
+
+    def test_operation_variable_appears(self, tree):
+        tree.apply_update({"imaging.ct.zoom": "applied"})
+        assert "zoom: applied" in tree.render_text()
+
+
+class TestEndToEndRendering:
+    def test_networked_client_renders_fig5_window(self, tmp_path):
+        db = Database(str(tmp_path / "db"))
+        store = MultimediaObjectStore(db)
+        store.store_document(build_sample_medical_record())
+        network = SimulatedNetwork()
+        InteractionServer(store, network=network)
+        client = ClientModule("lee", network=network)
+        network.attach_client(client)
+        client.join("record-17")
+        network.run()
+        text = client.render.render_text()
+        assert text.splitlines()[0] == "record-17"
+        assert "ct_head: flat" in text
+        assert "(loading)" not in text  # payloads all arrived
+        db.close()

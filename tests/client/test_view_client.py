@@ -1,0 +1,174 @@
+"""Unit tests for the render tree and the networked client module."""
+
+import pytest
+
+from repro.client import ClientModule, RenderTree
+from repro.db import Database, MultimediaObjectStore
+from repro.document import build_sample_medical_record
+from repro.errors import ClientError
+from repro.net import Link, SimulatedNetwork
+from repro.net.link import KBPS, MBPS
+from repro.server import InteractionServer
+
+
+class TestRenderTree:
+    STRUCTURE = [
+        {"path": "a", "domain": ["x", "y"]},
+        {"path": "b", "domain": ["shown", "hidden"]},
+    ]
+
+    def test_construction(self):
+        tree = RenderTree("doc", self.STRUCTURE)
+        assert len(tree) == 2
+        assert tree.value_of("a") is None
+
+    def test_apply_update(self):
+        tree = RenderTree("doc", self.STRUCTURE)
+        changed = tree.apply_update({"a": "x", "b": "hidden"})
+        assert set(changed) == {"a", "b"}
+        assert tree.displayed() == {"a": "x", "b": "hidden"}
+
+    def test_no_change_not_reported(self):
+        tree = RenderTree("doc", self.STRUCTURE)
+        tree.apply_update({"a": "x"})
+        assert tree.apply_update({"a": "x"}) == ()
+
+    def test_unknown_path_added(self):
+        tree = RenderTree("doc", self.STRUCTURE)
+        changed = tree.apply_update({"a.zoom": "applied"})
+        assert changed == ("a.zoom",)
+        assert "a.zoom" in tree
+
+    def test_new_domain_value_learned(self):
+        tree = RenderTree("doc", self.STRUCTURE)
+        tree.apply_update({"a": "z"})
+        assert "z" in tree.component("a").domain
+
+    def test_payload_tracking(self):
+        tree = RenderTree("doc", self.STRUCTURE)
+        tree.apply_update({"a": "x", "b": "hidden"})
+        assert tree.pending_payloads() == ("a",)  # hidden needs no payload
+        tree.mark_payload_ready("a")
+        assert tree.pending_payloads() == ()
+
+    def test_value_change_invalidates_payload(self):
+        tree = RenderTree("doc", self.STRUCTURE)
+        tree.apply_update({"a": "x"})
+        tree.mark_payload_ready("a")
+        tree.apply_update({"a": "y"})
+        assert tree.pending_payloads() == ("a",)
+
+    def test_unknown_component_raises(self):
+        tree = RenderTree("doc", self.STRUCTURE)
+        with pytest.raises(ClientError):
+            tree.component("ghost")
+
+
+@pytest.fixture
+def rig(tmp_path):
+    """A server with two networked clients, document stored."""
+    db = Database(str(tmp_path / "db"))
+    store = MultimediaObjectStore(db)
+    store.store_document(build_sample_medical_record())
+    net = SimulatedNetwork()
+    server = InteractionServer(store, network=net)
+    lee = ClientModule("lee", network=net)
+    cho = ClientModule("cho", network=net)
+    net.attach_client(lee, downlink=Link(bandwidth_bps=100 * MBPS), uplink=Link(bandwidth_bps=100 * MBPS))
+    net.attach_client(cho, downlink=Link(bandwidth_bps=100 * MBPS), uplink=Link(bandwidth_bps=100 * MBPS))
+    yield net, server, lee, cho
+    db.close()
+
+
+class TestClientOverNetwork:
+    def test_join_populates_state(self, rig):
+        net, server, lee, cho = rig
+        lee.join("record-17")
+        net.run()
+        assert lee.session_id is not None
+        assert lee.room_id is not None
+        assert lee.displayed()["imaging.ct_head"] == "flat"
+        assert lee.join_latency > 0
+
+    def test_requests_before_join_rejected(self, rig):
+        net, server, lee, cho = rig
+        with pytest.raises(ClientError, match="join first"):
+            lee.choose("imaging.ct_head", "icon")
+
+    def test_choice_updates_both_clients(self, rig):
+        net, server, lee, cho = rig
+        lee.join("record-17")
+        cho.join("record-17")
+        net.run()
+        lee.choose("imaging.ct_head", "segmented")
+        net.run()
+        assert lee.displayed()["imaging.ct_head"] == "segmented"
+        assert cho.displayed()["imaging.ct_head"] == "segmented"
+        assert len(cho.peer_events) == 1
+        assert cho.peer_events[0]["kind"] == "choice"
+
+    def test_response_time_measured(self, rig):
+        net, server, lee, cho = rig
+        lee.join("record-17")
+        net.run()
+        lee.choose("imaging.ct_head", "segmented")
+        net.run()
+        assert len(lee.response_times) == 1
+        assert lee.response_times[0] > 0
+
+    def test_payloads_fetched_and_buffered(self, rig):
+        net, server, lee, cho = rig
+        lee.join("record-17")
+        net.run()
+        assert lee.fully_rendered()
+        assert lee.buffer.used_bytes > 0
+
+    def test_slow_link_renders_later(self, tmp_path):
+        db = Database(str(tmp_path / "db2"))
+        store = MultimediaObjectStore(db)
+        store.store_document(build_sample_medical_record())
+        net = SimulatedNetwork()
+        InteractionServer(store, network=net)
+        slow = ClientModule("slow", network=net)
+        net.attach_client(
+            slow,
+            downlink=Link(bandwidth_bps=256 * KBPS),
+            uplink=Link(bandwidth_bps=256 * KBPS),
+        )
+        slow.join("record-17")
+        net.run()
+        assert slow.fully_rendered()
+        # ~1.7 MB over 256 kbit/s: tens of seconds of simulated time.
+        assert net.clock.now > 10
+        db.close()
+
+    def test_error_reported_to_client(self, rig):
+        net, server, lee, cho = rig
+        lee.join("record-17")
+        cho.join("record-17")
+        net.run()
+        lee.freeze("imaging.ct_head")
+        net.run()
+        cho.choose("imaging.ct_head", "icon")
+        net.run()
+        assert cho.errors
+        assert cho.errors[0]["error"] == "FrozenObjectError"
+        assert cho.displayed()["imaging.ct_head"] == "flat"  # unchanged
+
+    def test_operation_over_network(self, rig):
+        net, server, lee, cho = rig
+        lee.join("record-17")
+        cho.join("record-17")
+        net.run()
+        lee.operate("imaging.ct_head", "zoom")
+        net.run()
+        assert lee.displayed().get("imaging.ct_head.zoom") == "applied"
+        assert "imaging.ct_head.zoom" not in cho.displayed()
+
+    def test_leave_closes_room(self, rig):
+        net, server, lee, cho = rig
+        lee.join("record-17")
+        net.run()
+        lee.leave()
+        net.run()
+        assert server.room_ids == ()

@@ -1,0 +1,16 @@
+"""Test-suite configuration.
+
+Property-based tests run derandomized: a reproduction repository's test
+output should be identical run-to-run, so hypothesis derives its examples
+deterministically from each test's code instead of the wall clock.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+settings.load_profile("repro")

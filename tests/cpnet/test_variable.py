@@ -1,0 +1,69 @@
+"""Unit tests for CP-net variables and domains."""
+
+import pytest
+
+from repro.cpnet import Variable
+from repro.errors import UnknownValueError
+
+
+class TestVariableConstruction:
+    def test_basic(self):
+        var = Variable("ct_image", ("flat", "segmented", "hidden"))
+        assert var.name == "ct_image"
+        assert var.domain == ("flat", "segmented", "hidden")
+
+    def test_list_domain_coerced_to_tuple(self):
+        var = Variable("x", ["a", "b"])
+        assert var.domain == ("a", "b")
+
+    def test_description_not_in_equality(self):
+        assert Variable("x", ("a", "b"), "one") == Variable("x", ("a", "b"), "two")
+
+    def test_singleton_domain_rejected(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            Variable("x", ("only",))
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Variable("x", ("a", "a"))
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("x", ("a", ""))
+
+    def test_non_string_value_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("x", ("a", 2))
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid"):
+            Variable("bad name!", ("a", "b"))
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(TypeError):
+            Variable(42, ("a", "b"))
+
+    def test_dotted_name_allowed(self):
+        # Operation variables are named "<component>.<operation>" (§4.2).
+        assert Variable("xray.segmentation", ("applied", "plain")).name == "xray.segmentation"
+
+
+class TestVariableBehaviour:
+    def test_check_value_accepts_member(self):
+        var = Variable("x", ("a", "b"))
+        assert var.check_value("a") == "a"
+
+    def test_check_value_rejects_foreign(self):
+        var = Variable("x", ("a", "b"))
+        with pytest.raises(UnknownValueError):
+            var.check_value("c")
+
+    def test_is_binary(self):
+        assert Variable("x", ("a", "b")).is_binary
+        assert not Variable("x", ("a", "b", "c")).is_binary
+
+    def test_str(self):
+        assert str(Variable("x", ("a", "b"))) == "x{a, b}"
+
+    def test_hashable(self):
+        assert len({Variable("x", ("a", "b")), Variable("x", ("a", "b"))}) == 1

@@ -1,0 +1,106 @@
+"""Unit tests for the JDBC-like connection facade."""
+
+import pytest
+
+from repro.db import connect
+from repro.errors import DatabaseError
+
+
+@pytest.fixture
+def conn(tmp_path):
+    connection = connect(str(tmp_path / "db"))
+    connection.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT)"
+    )
+    yield connection
+    connection.close()
+
+
+class TestCursor:
+    def test_fetchone_exhausts(self, conn):
+        conn.execute("INSERT INTO t (v) VALUES ('a')")
+        cur = conn.execute("SELECT v FROM t")
+        assert cur.fetchone() == {"v": "a"}
+        assert cur.fetchone() is None
+
+    def test_fetchall_after_fetchone(self, conn):
+        for v in "abc":
+            conn.execute("INSERT INTO t (v) VALUES (?)", [v])
+        cur = conn.execute("SELECT v FROM t ORDER BY v")
+        cur.fetchone()
+        assert [r["v"] for r in cur.fetchall()] == ["b", "c"]
+        assert cur.fetchall() == []
+
+    def test_fetchmany(self, conn):
+        for v in "abcd":
+            conn.execute("INSERT INTO t (v) VALUES (?)", [v])
+        cur = conn.execute("SELECT v FROM t ORDER BY v")
+        assert len(cur.fetchmany(3)) == 3
+        assert len(cur.fetchmany(3)) == 1
+
+    def test_iteration(self, conn):
+        for v in "ab":
+            conn.execute("INSERT INTO t (v) VALUES (?)", [v])
+        cur = conn.execute("SELECT v FROM t ORDER BY v")
+        assert [row["v"] for row in cur] == ["a", "b"]
+
+    def test_rowcount_and_description(self, conn):
+        cur = conn.cursor()
+        assert cur.rowcount == -1
+        cur.execute("INSERT INTO t (v) VALUES ('a')")
+        assert cur.rowcount == 1
+        cur.execute("SELECT v FROM t")
+        assert cur.description == (("v", None),)
+
+    def test_fetch_before_execute(self, conn):
+        cur = conn.cursor()
+        with pytest.raises(DatabaseError):
+            cur.fetchone()
+        with pytest.raises(DatabaseError):
+            cur.fetchall()
+
+    def test_executemany(self, conn):
+        conn.cursor().executemany("INSERT INTO t (v) VALUES (?)", [["a"], ["b"]])
+        assert conn.execute("SELECT * FROM t").rowcount == 2
+
+
+class TestTransactionControl:
+    def test_manual_commit(self, tmp_path):
+        conn = connect(str(tmp_path / "db"), autocommit=False)
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        conn.execute("INSERT INTO t (id, v) VALUES (1, 'a')")
+        conn.commit()
+        conn.execute("INSERT INTO t (id, v) VALUES (2, 'b')")
+        conn.rollback()
+        assert conn.execute("SELECT * FROM t").rowcount == 1
+        conn.close()
+
+    def test_context_manager_commits(self, tmp_path):
+        with connect(str(tmp_path / "db"), autocommit=False) as conn:
+            conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+            conn.execute("INSERT INTO t (id, v) VALUES (1, 'a')")
+        with connect(str(tmp_path / "db")) as conn:
+            assert conn.execute("SELECT * FROM t").rowcount == 1
+
+    def test_context_manager_rolls_back_on_error(self, tmp_path):
+        with connect(str(tmp_path / "db")) as conn:
+            conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        with pytest.raises(RuntimeError):
+            with connect(str(tmp_path / "db"), autocommit=False) as conn:
+                conn.execute("INSERT INTO t (id, v) VALUES (1, 'a')")
+                raise RuntimeError("boom")
+        with connect(str(tmp_path / "db")) as conn:
+            assert conn.execute("SELECT * FROM t").rowcount == 0
+
+    def test_closed_connection_rejects_everything(self, conn):
+        conn.close()
+        with pytest.raises(DatabaseError, match="closed"):
+            conn.cursor()
+        with pytest.raises(DatabaseError):
+            conn.execute("SELECT * FROM t")
+        with pytest.raises(DatabaseError):
+            conn.commit()
+
+    def test_double_close_is_safe(self, conn):
+        conn.close()
+        conn.close()

@@ -1,0 +1,133 @@
+"""Property-based tests: the engine against a dict reference model.
+
+Hypothesis drives random operation sequences (insert/update/delete/
+commit/rollback) through both the real engine and a trivial in-memory
+model; after every sequence the visible table contents must match, and
+after a simulated reopen the committed state must match too.
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.db import Column, Database, INTEGER, TEXT, TableSchema
+from repro.db.blobstore import BlobStore
+from repro.errors import DatabaseError, DuplicateKeyError
+
+
+def schema():
+    return TableSchema(
+        "t",
+        (
+            Column("id", INTEGER, primary_key=True),
+            Column("v", TEXT),
+        ),
+    )
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 9), st.text(max_size=4)),
+        st.tuples(st.just("update"), st.integers(0, 9), st.text(max_size=4)),
+        st.tuples(st.just("delete"), st.integers(0, 9), st.just("")),
+        st.tuples(st.just("begin"), st.just(0), st.just("")),
+        st.tuples(st.just("commit"), st.just(0), st.just("")),
+        st.tuples(st.just("rollback"), st.just(0), st.just("")),
+    ),
+    max_size=30,
+)
+
+
+@given(operations)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_engine_matches_dict_model(tmp_path_factory, ops):
+    directory = str(tmp_path_factory.mktemp("dbprop"))
+    db = Database(directory)
+    db.create_table(schema())
+    committed: dict[int, str] = {}
+    pending: dict[int, str] | None = None
+
+    def visible() -> dict[int, str]:
+        return committed if pending is None else pending
+
+    try:
+        for op, key, value in ops:
+            state = visible()
+            if op == "insert":
+                if key in state:
+                    try:
+                        db.insert("t", {"id": key, "v": value})
+                        raise AssertionError("expected DuplicateKeyError")
+                    except DuplicateKeyError:
+                        pass
+                else:
+                    db.insert("t", {"id": key, "v": value})
+                    state[key] = value
+            elif op == "update":
+                if key in state:
+                    db.update("t", key, {"v": value})
+                    state[key] = value
+                else:
+                    try:
+                        db.update("t", key, {"v": value})
+                        raise AssertionError("expected DatabaseError")
+                    except DatabaseError:
+                        pass
+            elif op == "delete":
+                if key in state:
+                    db.delete("t", key)
+                    del state[key]
+                else:
+                    try:
+                        db.delete("t", key)
+                        raise AssertionError("expected DatabaseError")
+                    except DatabaseError:
+                        pass
+            elif op == "begin" and pending is None:
+                db.begin()
+                pending = dict(committed)
+            elif op == "commit" and pending is not None:
+                db.commit()
+                committed = pending
+                pending = None
+            elif op == "rollback" and pending is not None:
+                db.rollback()
+                pending = None
+            # Live view must always match the model's visible state.
+            actual = {row["id"]: row["v"] for row in db.select("t")}
+            assert actual == visible()
+        if pending is not None:
+            db.rollback()
+            pending = None
+        assert {row["id"]: row["v"] for row in db.select("t")} == committed
+    finally:
+        db.close()
+    # Reopen: recovery must reproduce exactly the committed state.
+    with Database(directory) as reopened:
+        actual = {row["id"]: row["v"] for row in reopened.select("t")}
+        assert actual == committed
+
+
+@given(st.lists(st.binary(max_size=2048), min_size=1, max_size=12), st.data())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_blobstore_round_trips_random_payloads(tmp_path_factory, payloads, data):
+    path = os.path.join(str(tmp_path_factory.mktemp("blobprop")), "blobs.dat")
+    with BlobStore(path) as store:
+        refs = [store.put(payload) for payload in payloads]
+        # Delete a random subset.
+        doomed = {
+            i for i in range(len(refs)) if data.draw(st.booleans(), label=f"del{i}")
+        }
+        for index in doomed:
+            store.delete(refs[index])
+        for index, (ref, payload) in enumerate(zip(refs, payloads)):
+            if index in doomed:
+                assert ref.blob_id not in store
+            else:
+                assert store.get(ref) == payload
+    # Survives reopen with identical contents.
+    with BlobStore(path) as store:
+        for index, (ref, payload) in enumerate(zip(refs, payloads)):
+            if index not in doomed:
+                assert store.get(ref) == payload

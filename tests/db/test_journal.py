@@ -1,0 +1,131 @@
+"""Unit tests for the write-ahead journal."""
+
+import pytest
+
+from repro.db.journal import (
+    BEGIN,
+    COMMIT,
+    INSERT,
+    Journal,
+    JournalRecord,
+    UPDATE,
+)
+from repro.errors import TransactionError
+
+
+@pytest.fixture
+def journal(tmp_path):
+    journal = Journal(str(tmp_path / "journal.log"))
+    yield journal
+    journal.close()
+
+
+class TestRecordFormat:
+    def test_round_trip(self):
+        record = JournalRecord(INSERT, 3, {"table": "t", "row": {"id": 1}})
+        parsed = JournalRecord.from_line(record.to_line())
+        assert parsed == record
+
+    def test_corrupt_crc_rejected(self):
+        line = JournalRecord(INSERT, 3, {}).to_line()
+        assert JournalRecord.from_line(line[:-2] + b"X\n") is None
+
+    def test_garbage_rejected(self):
+        assert JournalRecord.from_line(b"not a record\n") is None
+        assert JournalRecord.from_line(b"") is None
+
+
+class TestTransactions:
+    def test_begin_commit(self, journal):
+        txn = journal.begin()
+        journal.log(INSERT, {"table": "t"})
+        journal.commit()
+        ops = journal.committed_operations()
+        assert [op.op for op in ops] == [INSERT]
+        assert ops[0].txn == txn
+
+    def test_rollback_discards(self, journal):
+        journal.begin()
+        journal.log(INSERT, {"table": "t"})
+        journal.rollback()
+        assert journal.committed_operations() == []
+
+    def test_uncommitted_discarded(self, journal):
+        journal.begin()
+        journal.log(INSERT, {"table": "t"})
+        # no commit — crash
+        assert journal.committed_operations() == []
+
+    def test_nested_begin_rejected(self, journal):
+        journal.begin()
+        with pytest.raises(TransactionError):
+            journal.begin()
+
+    def test_commit_without_begin(self, journal):
+        with pytest.raises(TransactionError):
+            journal.commit()
+
+    def test_log_outside_transaction(self, journal):
+        with pytest.raises(TransactionError):
+            journal.log(INSERT, {})
+
+    def test_txn_ids_resume_after_reopen(self, tmp_path):
+        path = str(tmp_path / "journal.log")
+        journal = Journal(path)
+        first = journal.begin()
+        journal.commit()
+        journal.close()
+        journal = Journal(path)
+        assert journal.begin() > first
+        journal.commit()
+        journal.close()
+
+
+class TestRecovery:
+    def test_torn_line_stops_replay(self, tmp_path):
+        path = str(tmp_path / "journal.log")
+        journal = Journal(path)
+        journal.begin()
+        journal.log(INSERT, {"n": 1})
+        journal.commit()
+        journal.begin()
+        journal.log(INSERT, {"n": 2})
+        journal.commit()
+        journal.close()
+        with open(path, "r+b") as file:
+            file.seek(-5, 2)
+            file.truncate()
+        journal = Journal(path)
+        ops = journal.committed_operations()
+        # Second transaction's commit is torn -> only the first survives.
+        assert [op.data["n"] for op in ops] == [1]
+        journal.close()
+
+    def test_checkpoint_clears_history(self, journal):
+        journal.begin()
+        journal.log(INSERT, {"n": 1})
+        journal.commit()
+        journal.checkpoint()
+        journal.begin()
+        journal.log(UPDATE, {"n": 2})
+        journal.commit()
+        ops = journal.committed_operations()
+        assert [op.op for op in ops] == [UPDATE]
+
+    def test_checkpoint_inside_txn_rejected(self, journal):
+        journal.begin()
+        with pytest.raises(TransactionError):
+            journal.checkpoint()
+
+    def test_truncate(self, journal):
+        journal.begin()
+        journal.log(INSERT, {"n": 1})
+        journal.commit()
+        journal.truncate()
+        assert journal.committed_operations() == []
+
+    def test_replay_yields_framing_records(self, journal):
+        journal.begin()
+        journal.commit()
+        ops = [record.op for record in journal.replay()]
+        assert ops == [BEGIN, COMMIT]

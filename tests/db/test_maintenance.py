@@ -1,0 +1,83 @@
+"""Tests for engine maintenance: auto-checkpoint and EXPLAIN."""
+
+import os
+
+import pytest
+
+from repro.db import Column, Database, Eq, Gt, INTEGER, TEXT, TableSchema
+from repro.db.query import ALL, And
+
+
+def schema():
+    return TableSchema(
+        "t",
+        (
+            Column("id", INTEGER, primary_key=True, autoincrement=True),
+            Column("ward", TEXT),
+        ),
+    )
+
+
+class TestAutoCheckpoint:
+    def test_checkpoint_triggers_on_journal_growth(self, tmp_path):
+        db = Database(str(tmp_path / "db"), checkpoint_journal_bytes=4096)
+        db.create_table(schema())
+        for i in range(200):
+            db.insert("t", {"ward": f"ward-{i}"})
+        assert db.auto_checkpoints >= 1
+        # Journal was compacted below the threshold at the last checkpoint.
+        assert db._journal.size_bytes < 4096
+        db.close()
+        with Database(str(tmp_path / "db")) as reopened:
+            assert reopened.count("t") == 200
+
+    def test_disabled_when_none(self, tmp_path):
+        db = Database(str(tmp_path / "db"), checkpoint_journal_bytes=None)
+        db.create_table(schema())
+        for i in range(200):
+            db.insert("t", {"ward": f"w{i}"})
+        assert db.auto_checkpoints == 0
+        assert db._journal.size_bytes > 4096
+        db.close()
+
+    def test_no_checkpoint_inside_explicit_transaction(self, tmp_path):
+        db = Database(str(tmp_path / "db"), checkpoint_journal_bytes=512)
+        db.create_table(schema())
+        with db.transaction():
+            for i in range(100):
+                db.insert("t", {"ward": f"w{i}"})
+        # The commit at the end may checkpoint, but never mid-transaction.
+        assert db.count("t") == 100
+        db.close()
+
+    def test_snapshot_file_written(self, tmp_path):
+        db = Database(str(tmp_path / "db"), checkpoint_journal_bytes=1024)
+        db.create_table(schema())
+        for i in range(100):
+            db.insert("t", {"ward": "w"})
+        assert os.path.exists(str(tmp_path / "db" / "snapshot.json"))
+        db.close()
+
+
+class TestExplain:
+    @pytest.fixture
+    def db(self, tmp_path):
+        database = Database(str(tmp_path / "db"))
+        database.create_table(schema())
+        database.create_index("t", "ward")
+        yield database
+        database.close()
+
+    def test_pk_lookup(self, db):
+        assert db.table("t").explain(Eq("id", 3)) == "pk-lookup"
+
+    def test_index_path(self, db):
+        assert db.table("t").explain(Eq("ward", "icu")) == "index:t_ward_hash"
+        # An inequality contributes no hint; the ward index still applies.
+        assert db.table("t").explain(And(Eq("ward", "icu"), Gt("id", 0))) == "index:t_ward_hash"
+        # AND with a pk hint prefers the pk.
+        assert db.table("t").explain(And(Eq("ward", "icu"), Eq("id", 1))) == "pk-lookup"
+
+    def test_full_scan(self, db):
+        assert db.table("t").explain(ALL) == "full-scan"
+        assert db.table("t").explain(Gt("id", 5)) == "full-scan"

@@ -1,0 +1,180 @@
+"""Unit tests for the SQL dialect."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.sql import SqlError, execute, tokenize
+from repro.errors import DatabaseError
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = Database(str(tmp_path / "db"))
+    execute(
+        database,
+        "CREATE TABLE pts (id INTEGER PRIMARY KEY AUTOINCREMENT, "
+        "name TEXT NOT NULL, ward TEXT, age INTEGER)",
+    )
+    for name, ward, age in [
+        ("alice", "icu", 41),
+        ("bob", "icu", 33),
+        ("carol", "er", 58),
+        ("dave", None, 7),
+    ]:
+        execute(
+            database,
+            "INSERT INTO pts (name, ward, age) VALUES (?, ?, ?)",
+            [name, ward, age],
+        )
+    yield database
+    database.close()
+
+
+class TestTokenizer:
+    def test_kinds(self):
+        tokens = tokenize("SELECT a FROM t WHERE x = 'it''s' AND y >= 3.5")
+        kinds = [t.kind for t in tokens]
+        assert kinds.count("keyword") == 4  # SELECT FROM WHERE AND
+        assert any(t.kind == "string" for t in tokens)
+        assert tokens[-1].kind == "end"
+
+    def test_bad_input(self):
+        with pytest.raises(SqlError, match="tokenize"):
+            tokenize("SELECT @ FROM t")
+
+
+class TestSelect:
+    def test_star(self, db):
+        result = execute(db, "SELECT * FROM pts")
+        assert result.rowcount == 4
+        assert set(result.columns) == {"id", "name", "ward", "age"}
+
+    def test_projection(self, db):
+        result = execute(db, "SELECT name FROM pts WHERE age > 40 ORDER BY name")
+        assert [r["name"] for r in result.rows] == ["alice", "carol"]
+        assert result.columns == ("name",)
+
+    def test_projection_validates_columns(self, db):
+        with pytest.raises(Exception):
+            execute(db, "SELECT ghost FROM pts")
+
+    def test_where_combinations(self, db):
+        rows = execute(db, "SELECT name FROM pts WHERE ward = 'icu' AND age < 40").rows
+        assert [r["name"] for r in rows] == ["bob"]
+        rows = execute(db, "SELECT name FROM pts WHERE age < 10 OR age > 50 ORDER BY age").rows
+        assert [r["name"] for r in rows] == ["dave", "carol"]
+
+    def test_where_not_and_parens(self, db):
+        rows = execute(
+            db, "SELECT name FROM pts WHERE NOT (ward = 'icu' OR age > 50) ORDER BY name"
+        ).rows
+        assert [r["name"] for r in rows] == ["dave"]
+
+    def test_like(self, db):
+        rows = execute(db, "SELECT name FROM pts WHERE name LIKE '%a%' ORDER BY name").rows
+        assert [r["name"] for r in rows] == ["alice", "carol", "dave"]
+
+    def test_not_like(self, db):
+        rows = execute(db, "SELECT name FROM pts WHERE name NOT LIKE '%a%'").rows
+        assert [r["name"] for r in rows] == ["bob"]
+
+    def test_in(self, db):
+        rows = execute(db, "SELECT name FROM pts WHERE name IN ('alice', 'dave') ORDER BY name").rows
+        assert [r["name"] for r in rows] == ["alice", "dave"]
+
+    def test_between(self, db):
+        rows = execute(db, "SELECT name FROM pts WHERE age BETWEEN 30 AND 45 ORDER BY age").rows
+        assert [r["name"] for r in rows] == ["bob", "alice"]
+
+    def test_is_null(self, db):
+        assert [r["name"] for r in execute(db, "SELECT name FROM pts WHERE ward IS NULL").rows] == ["dave"]
+        assert len(execute(db, "SELECT name FROM pts WHERE ward IS NOT NULL").rows) == 3
+
+    def test_order_desc_and_limit(self, db):
+        rows = execute(db, "SELECT name FROM pts ORDER BY age DESC LIMIT 2").rows
+        assert [r["name"] for r in rows] == ["carol", "alice"]
+
+    def test_order_by_nulls_last(self, db):
+        rows = execute(db, "SELECT ward FROM pts ORDER BY ward").rows
+        assert rows[-1]["ward"] is None
+
+
+class TestDml:
+    def test_insert_returns_row(self, db):
+        result = execute(db, "INSERT INTO pts (name, age) VALUES ('eve', 25)")
+        assert result.rowcount == 1
+        assert result.rows[0]["id"] > 0
+
+    def test_insert_arity_mismatch(self, db):
+        with pytest.raises(SqlError, match="columns but"):
+            execute(db, "INSERT INTO pts (name, age) VALUES ('eve')")
+
+    def test_update(self, db):
+        count = execute(db, "UPDATE pts SET ward = 'er' WHERE ward = 'icu'").rowcount
+        assert count == 2
+        assert execute(db, "SELECT name FROM pts WHERE ward = 'er'").rowcount == 3
+
+    def test_update_multiple_columns(self, db):
+        execute(db, "UPDATE pts SET ward = 'x', age = 1 WHERE name = 'dave'")
+        row = execute(db, "SELECT ward, age FROM pts WHERE name = 'dave'").rows[0]
+        assert (row["ward"], row["age"]) == ("x", 1)
+
+    def test_delete(self, db):
+        assert execute(db, "DELETE FROM pts WHERE age < 40").rowcount == 2
+        assert execute(db, "SELECT * FROM pts").rowcount == 2
+
+    def test_delete_all(self, db):
+        assert execute(db, "DELETE FROM pts").rowcount == 4
+
+
+class TestDdl:
+    def test_create_index(self, db):
+        execute(db, "CREATE INDEX ON pts (ward)")
+        assert db.table("pts").index_on("ward") is not None
+
+    def test_create_unique_index_enforced(self, db):
+        execute(db, "CREATE UNIQUE INDEX ON pts (name)")
+        with pytest.raises(Exception):
+            execute(db, "INSERT INTO pts (name) VALUES ('alice')")
+
+    def test_create_ordered_index(self, db):
+        execute(db, "CREATE INDEX ON pts (age) USING ORDERED")
+        assert db.table("pts").index_on("age").kind == "ordered"
+
+    def test_drop_table(self, db):
+        execute(db, "DROP TABLE pts")
+        with pytest.raises(DatabaseError):
+            db.table("pts")
+
+
+class TestErrors:
+    def test_params_must_all_bind(self, db):
+        with pytest.raises(SqlError, match="placeholders"):
+            execute(db, "SELECT * FROM pts WHERE age = ?", [1, 2])
+
+    def test_missing_params(self, db):
+        with pytest.raises(SqlError, match="not enough"):
+            execute(db, "SELECT * FROM pts WHERE age = ? AND name = ?", [1])
+
+    def test_trailing_tokens(self, db):
+        with pytest.raises(SqlError, match="trailing"):
+            execute(db, "SELECT * FROM pts WHERE age > 1 5")
+
+    def test_unknown_statement(self, db):
+        with pytest.raises(SqlError, match="keyword"):
+            execute(db, "VACUUM pts")
+        with pytest.raises(SqlError, match="unsupported"):
+            execute(db, "BETWEEN 1 AND 2")
+
+    def test_limit_must_be_integer(self, db):
+        with pytest.raises(SqlError, match="LIMIT"):
+            execute(db, "SELECT * FROM pts LIMIT 'x'")
+
+    def test_like_needs_string(self, db):
+        with pytest.raises(SqlError, match="LIKE"):
+            execute(db, "SELECT * FROM pts WHERE name LIKE 5")
+
+    def test_string_escaping(self, db):
+        execute(db, "INSERT INTO pts (name) VALUES ('o''brien')")
+        rows = execute(db, "SELECT name FROM pts WHERE name = 'o''brien'").rows
+        assert rows[0]["name"] == "o'brien"

@@ -1,0 +1,184 @@
+"""Unit tests for SQL aggregates, GROUP BY, and joins."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.sql import SqlError, execute
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = Database(str(tmp_path / "db"))
+    execute(
+        database,
+        "CREATE TABLE pts (id INTEGER PRIMARY KEY AUTOINCREMENT, "
+        "name TEXT NOT NULL, ward TEXT, age INTEGER)",
+    )
+    for name, ward, age in [
+        ("alice", "icu", 40),
+        ("bob", "icu", 30),
+        ("carol", "er", 58),
+        ("dave", "er", 8),
+        ("eve", None, 25),
+    ]:
+        execute(database, "INSERT INTO pts (name, ward, age) VALUES (?, ?, ?)", [name, ward, age])
+    execute(
+        database,
+        "CREATE TABLE scans (id INTEGER PRIMARY KEY AUTOINCREMENT, "
+        "pid INTEGER NOT NULL, kind TEXT)",
+    )
+    for pid, kind in [(1, "ct"), (1, "xray"), (3, "ct"), (4, "us"), (99, "mri")]:
+        execute(database, "INSERT INTO scans (pid, kind) VALUES (?, ?)", [pid, kind])
+    yield database
+    database.close()
+
+
+class TestAggregates:
+    def test_count_star(self, db):
+        assert execute(db, "SELECT COUNT(*) FROM pts").rows == [{"COUNT(*)": 5}]
+
+    def test_count_column_skips_nulls(self, db):
+        assert execute(db, "SELECT COUNT(ward) FROM pts").rows == [{"COUNT(ward)": 4}]
+
+    def test_sum_avg_min_max(self, db):
+        row = execute(db, "SELECT SUM(age), AVG(age), MIN(age), MAX(age) FROM pts").rows[0]
+        assert row["SUM(age)"] == 161
+        assert row["AVG(age)"] == pytest.approx(32.2)
+        assert (row["MIN(age)"], row["MAX(age)"]) == (8, 58)
+
+    def test_aggregate_with_where(self, db):
+        row = execute(db, "SELECT COUNT(*) FROM pts WHERE ward = 'icu'").rows[0]
+        assert row["COUNT(*)"] == 1 + 1
+
+    def test_aggregate_over_empty_set(self, db):
+        row = execute(db, "SELECT COUNT(*), SUM(age) FROM pts WHERE age > 1000").rows[0]
+        assert row["COUNT(*)"] == 0
+        assert row["SUM(age)"] is None
+
+    def test_star_aggregate_only_count(self, db):
+        with pytest.raises(SqlError, match="name a column"):
+            execute(db, "SELECT SUM(*) FROM pts")
+
+    def test_bare_column_with_aggregate_rejected(self, db):
+        with pytest.raises(SqlError, match="GROUP BY"):
+            execute(db, "SELECT name, COUNT(*) FROM pts")
+
+    def test_unknown_aggregate_column(self, db):
+        with pytest.raises(SqlError, match="unknown column"):
+            execute(db, "SELECT SUM(ghost) FROM pts")
+
+
+class TestGroupBy:
+    def test_counts_per_group(self, db):
+        rows = execute(db, "SELECT ward, COUNT(*) FROM pts GROUP BY ward").rows
+        by_ward = {row["ward"]: row["COUNT(*)"] for row in rows}
+        assert by_ward == {"icu": 2, "er": 2, None: 1}
+
+    def test_group_aggregates(self, db):
+        rows = execute(
+            db, "SELECT ward, AVG(age), MAX(age) FROM pts WHERE ward IS NOT NULL GROUP BY ward"
+        ).rows
+        by_ward = {row["ward"]: (row["AVG(age)"], row["MAX(age)"]) for row in rows}
+        assert by_ward["icu"] == (35, 40)
+        assert by_ward["er"] == (33, 58)
+
+    def test_order_by_aggregate_label(self, db):
+        rows = execute(
+            db,
+            "SELECT ward, COUNT(*) FROM pts WHERE ward IS NOT NULL "
+            "GROUP BY ward ORDER BY ward",
+        ).rows
+        assert [row["ward"] for row in rows] == ["er", "icu"]
+
+    def test_group_by_unknown_column(self, db):
+        with pytest.raises(SqlError, match="unknown column"):
+            execute(db, "SELECT ghost, COUNT(*) FROM pts GROUP BY ghost")
+
+    def test_limit_applies_after_grouping(self, db):
+        rows = execute(
+            db, "SELECT ward, COUNT(*) FROM pts GROUP BY ward ORDER BY ward LIMIT 1"
+        ).rows
+        assert len(rows) == 1
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        rows = execute(
+            db,
+            "SELECT p.name, s.kind FROM pts p JOIN scans s ON p.id = s.pid "
+            "ORDER BY p.name",
+        ).rows
+        assert rows == [
+            {"p.name": "alice", "s.kind": "ct"},
+            {"p.name": "alice", "s.kind": "xray"},
+            {"p.name": "carol", "s.kind": "ct"},
+            {"p.name": "dave", "s.kind": "us"},
+        ]
+
+    def test_join_on_either_order(self, db):
+        forward = execute(
+            db, "SELECT p.name FROM pts p JOIN scans s ON p.id = s.pid"
+        ).rowcount
+        reverse = execute(
+            db, "SELECT p.name FROM pts p JOIN scans s ON s.pid = p.id"
+        ).rowcount
+        assert forward == reverse == 4
+
+    def test_join_with_where(self, db):
+        rows = execute(
+            db,
+            "SELECT p.name FROM pts p JOIN scans s ON p.id = s.pid "
+            "WHERE s.kind = 'ct' ORDER BY p.name",
+        ).rows
+        assert [row["p.name"] for row in rows] == ["alice", "carol"]
+
+    def test_join_star_qualifies_columns(self, db):
+        result = execute(db, "SELECT * FROM pts p JOIN scans s ON p.id = s.pid")
+        assert "p.name" in result.columns and "s.kind" in result.columns
+
+    def test_join_with_aggregates(self, db):
+        rows = execute(
+            db,
+            "SELECT p.name, COUNT(s.id) FROM pts p JOIN scans s ON p.id = s.pid "
+            "GROUP BY p.name ORDER BY p.name",
+        ).rows
+        assert rows[0] == {"p.name": "alice", "COUNT(s.id)": 2}
+
+    def test_unmatched_rows_excluded(self, db):
+        # scan with pid=99 has no patient; eve has no scans.
+        names = {
+            row["p.name"]
+            for row in execute(
+                db, "SELECT p.name FROM pts p JOIN scans s ON p.id = s.pid"
+            ).rows
+        }
+        assert "eve" not in names
+
+    def test_as_keyword_alias(self, db):
+        rows = execute(
+            db, "SELECT a.name FROM pts AS a JOIN scans AS b ON a.id = b.pid"
+        ).rows
+        assert len(rows) == 4
+
+    def test_unqualified_on_rejected(self, db):
+        with pytest.raises(SqlError, match="alias-qualified"):
+            execute(db, "SELECT p.name FROM pts p JOIN scans s ON id = pid")
+
+    def test_wrong_alias_in_on(self, db):
+        with pytest.raises(SqlError, match="aliased"):
+            execute(db, "SELECT p.name FROM pts p JOIN scans s ON x.id = s.pid")
+
+    def test_fig7_catalog_join(self, tmp_path):
+        """The schema's own natural join: catalog row -> object table."""
+        from repro.db import MultimediaObjectStore
+
+        database = Database(str(tmp_path / "db-fig7"))
+        store = MultimediaObjectStore(database)
+        store.store_image(b"pixels", quality=3)
+        rows = execute(
+            database,
+            "SELECT c.FLD_NAME, i.FLD_QUALITY FROM MULTIMEDIA_OBJECTS_TABLE c "
+            "JOIN IMAGE_OBJECTS_TABLE i ON c.ID = i.ID WHERE c.FLD_NAME = 'Image'",
+        ).rows
+        assert rows == [{"c.FLD_NAME": "Image", "i.FLD_QUALITY": 3}]
+        database.close()

@@ -1,0 +1,136 @@
+"""Unit tests for column types and table schemas."""
+
+import pytest
+
+from repro.db import BLOB, BOOLEAN, Column, INTEGER, JSONB, REAL, TEXT, TableSchema
+from repro.db.blobstore import BlobRef
+from repro.db.types import BYTES, type_by_name
+from repro.errors import SchemaError
+
+
+class TestTypes:
+    def test_integer(self):
+        assert INTEGER.validate(5, "c") == 5
+        with pytest.raises(SchemaError):
+            INTEGER.validate("5", "c")
+        with pytest.raises(SchemaError):
+            INTEGER.validate(True, "c")  # bool is not an INTEGER here
+
+    def test_real_coerces_int(self):
+        assert REAL.validate(5, "c") == 5.0
+        assert isinstance(REAL.validate(5, "c"), float)
+
+    def test_text(self):
+        assert TEXT.validate("x", "c") == "x"
+        with pytest.raises(SchemaError):
+            TEXT.validate(5, "c")
+
+    def test_boolean(self):
+        assert BOOLEAN.validate(True, "c") is True
+        with pytest.raises(SchemaError):
+            BOOLEAN.validate(1, "c")
+
+    def test_json(self):
+        assert JSONB.validate({"a": [1]}, "c") == {"a": [1]}
+
+    def test_null_passes_all(self):
+        for t in (INTEGER, REAL, TEXT, BOOLEAN, JSONB, BLOB):
+            assert t.validate(None, "c") is None
+
+    def test_blob_requires_ref(self):
+        ref = BlobRef(blob_id=3, size=10)
+        assert BLOB.validate(ref, "c") is ref
+        with pytest.raises(SchemaError, match="BlobStore.put"):
+            BLOB.validate(b"raw bytes", "c")
+        with pytest.raises(SchemaError):
+            BLOB.validate(12, "c")
+
+    def test_blob_encode_decode(self):
+        ref = BlobRef(blob_id=3, size=10)
+        assert BLOB.decode(BLOB.encode(ref)) == ref
+        assert BLOB.encode(None) is None
+        assert BLOB.decode(None) is None
+
+    def test_bytes_encode_decode(self):
+        assert BYTES.decode(BYTES.encode(b"\x00\xff")) == b"\x00\xff"
+        assert BYTES.encode(None) is None
+
+    def test_type_by_name(self):
+        assert type_by_name("integer") is INTEGER
+        assert type_by_name("BLOB") is BLOB
+        with pytest.raises(SchemaError, match="unknown column type"):
+            type_by_name("VARCHAR")
+
+
+class TestColumn:
+    def test_pk_not_nullable(self):
+        col = Column("id", INTEGER, primary_key=True)
+        with pytest.raises(SchemaError, match="NULL"):
+            col.validate(None)
+
+    def test_not_null(self):
+        col = Column("name", TEXT, nullable=False)
+        with pytest.raises(SchemaError):
+            col.validate(None)
+
+    def test_autoincrement_requires_integer_pk(self):
+        with pytest.raises(SchemaError, match="autoincrement"):
+            Column("id", TEXT, primary_key=True, autoincrement=True)
+        with pytest.raises(SchemaError):
+            Column("id", INTEGER, autoincrement=True)
+
+
+class TestTableSchema:
+    def _schema(self):
+        return TableSchema(
+            "t",
+            (
+                Column("id", INTEGER, primary_key=True, autoincrement=True),
+                Column("name", TEXT, nullable=False),
+                Column("age", INTEGER),
+            ),
+        )
+
+    def test_exactly_one_pk(self):
+        with pytest.raises(SchemaError, match="exactly one primary-key"):
+            TableSchema("t", (Column("a", TEXT),))
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                (Column("a", TEXT, primary_key=True), Column("b", TEXT, primary_key=True)),
+            )
+
+    def test_duplicate_columns(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TableSchema("t", (Column("a", TEXT, primary_key=True), Column("a", TEXT)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", ())
+
+    def test_validate_row_completes_nulls(self):
+        row = self._schema().validate_row({"name": "x"})
+        assert row == {"id": None, "name": "x", "age": None}
+
+    def test_validate_row_unknown_column(self):
+        with pytest.raises(SchemaError, match="unknown columns"):
+            self._schema().validate_row({"name": "x", "ghost": 1})
+
+    def test_validate_partial(self):
+        assert self._schema().validate_row({"age": 3}, partial=True) == {"age": 3}
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(SchemaError):
+            self._schema().validate_row({"age": 3})
+
+    def test_round_trip_dict(self):
+        schema = self._schema()
+        clone = TableSchema.from_dict(schema.to_dict())
+        assert clone == schema
+
+    def test_contains_and_column(self):
+        schema = self._schema()
+        assert "name" in schema and "ghost" not in schema
+        assert schema.column("age").type is INTEGER
+        with pytest.raises(SchemaError):
+            schema.column("ghost")

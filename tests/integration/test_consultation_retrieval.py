@@ -1,0 +1,86 @@
+"""Integration: a consultation that reaches into the §1 retrieval stack.
+
+Physicians in a room pull similar cases by image, check stored marks from
+prior reviews, and fetch supporting literature — all against the same
+database the room's document lives in.
+"""
+
+import pytest
+
+from repro.client import ClientModule
+from repro.db import Database, MultimediaObjectStore
+from repro.document import build_sample_medical_record
+from repro.media.image import ct_phantom
+from repro.net import SimulatedNetwork
+from repro.retrieval import AnnotationSpatialIndex, SimilarImageIndex
+from repro.retrieval.text import ArticleSearchEngine
+from repro.server import InteractionServer
+
+
+@pytest.fixture
+def clinic(tmp_path):
+    db = Database(str(tmp_path / "clinic"))
+    store = MultimediaObjectStore(db)
+    store.store_document(build_sample_medical_record("patient-now"))
+    image_index = SimilarImageIndex(store)
+    for seed in range(4):
+        image_index.add_image(ct_phantom(128, seed=seed), label=f"case-{seed}")
+    articles = ArticleSearchEngine(db)
+    articles.add_article(
+        "Ring enhancement in cerebral CT",
+        "Contrast CT of cerebral lesions with ring enhancement patterns.",
+    )
+    articles.add_article(
+        "Rural telemedicine bandwidth", "Bandwidth limits image quality remotely."
+    )
+    yield db, store, image_index, articles
+    db.close()
+
+
+class TestConsultationWithRetrieval:
+    def test_full_flow(self, clinic):
+        db, store, image_index, articles = clinic
+        network = SimulatedNetwork()
+        server = InteractionServer(store, network=network)
+        viewer = ClientModule("radiologist", network=network)
+        network.attach_client(viewer)
+        viewer.join("patient-now")
+        network.run()
+
+        # During the room session: mark the CT and persist on close.
+        viewer.annotate("imaging.ct_head", {"type": "text", "text": "ring sign", "x": 60, "y": 70})
+        network.run()
+        viewer.leave()
+        network.run()
+
+        # A later consultation: similar cases by the new patient's CT.
+        hits = image_index.query(ct_phantom(128, seed=99), k=2)
+        assert all(hit.label.startswith("case-") for hit in hits)
+
+        # Prior marks, searched spatially.
+        marks = AnnotationSpatialIndex.from_store(
+            store, "patient-now", "imaging.ct_head", 256, 256
+        )
+        assert marks.mark_near(61, 71)["text"] == "ring sign"
+
+        # Supporting literature for what was seen.
+        papers = articles.search("cerebral ring enhancement")
+        assert papers[0].title == "Ring enhancement in cerebral CT"
+
+    def test_everything_shares_one_database(self, clinic):
+        db, store, image_index, articles = clinic
+        tables = set(db.table_names)
+        assert {"DOCUMENT_OBJECTS_TABLE", "IMAGE_OBJECTS_TABLE",
+                "IMAGE_FEATURES_TABLE", "ARTICLES_TABLE",
+                "ANNOTATIONS_TABLE"} <= tables
+
+    def test_retrieval_survives_restart(self, tmp_path):
+        path = str(tmp_path / "clinic2")
+        with Database(path) as db:
+            store = MultimediaObjectStore(db)
+            SimilarImageIndex(store).add_image(ct_phantom(128, seed=1), label="c1")
+            ArticleSearchEngine(db).add_article("T", "persistent zebra body")
+        with Database(path) as db:
+            store = MultimediaObjectStore(db)
+            assert SimilarImageIndex(store).query(ct_phantom(128, seed=1), k=1)[0].label == "c1"
+            assert ArticleSearchEngine(db).search("zebra")[0].title == "T"

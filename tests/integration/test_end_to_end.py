@@ -1,0 +1,190 @@
+"""Integration: the full conferencing stack, end to end.
+
+Each test drives the system the way the paper's scenarios do — clients
+over the simulated network, the interaction server in the middle, the
+database behind it — and asserts observable outcomes across module
+boundaries.
+"""
+
+import pytest
+
+from repro.client import ClientModule
+from repro.db import Database, MultimediaObjectStore
+from repro.document import build_sample_medical_record
+from repro.net import Link, SimulatedNetwork
+from repro.presentation import TUNING_VARIABLE, install_bandwidth_tuning
+from repro.server import InteractionServer
+from repro.workloads import consultation_events, generate_record
+
+MBPS = 1_000_000
+
+
+@pytest.fixture
+def rig(tmp_path):
+    db = Database(str(tmp_path / "db"))
+    store = MultimediaObjectStore(db)
+    doc = build_sample_medical_record()
+    install_bandwidth_tuning(doc)
+    store.store_document(doc)
+    network = SimulatedNetwork()
+    server = InteractionServer(store, network=network)
+    yield store, network, server
+    db.close()
+
+
+def attach(network, name, mbps=50.0):
+    client = ClientModule(name, network=network)
+    network.attach_client(
+        client,
+        downlink=Link(bandwidth_bps=mbps * MBPS),
+        uplink=Link(bandwidth_bps=mbps * MBPS),
+    )
+    return client
+
+
+class TestConferenceLifecycle:
+    def test_three_viewers_share_one_room(self, rig):
+        store, network, server = rig
+        clients = [attach(network, f"dr-{i}") for i in range(3)]
+        for client in clients:
+            client.join("record-17")
+        network.run()
+        assert len(server.room_ids) == 1
+        room = server.room(server.room_ids[0])
+        assert len(room.viewer_ids) == 3
+        # Everyone starts from the same author-optimal view.
+        displays = [client.displayed() for client in clients]
+        assert displays[0] == displays[1] == displays[2]
+
+    def test_cooperative_session_converges(self, rig):
+        store, network, server = rig
+        lee = attach(network, "lee")
+        cho = attach(network, "cho")
+        lee.join("record-17")
+        cho.join("record-17")
+        network.run()
+        script = [
+            ("imaging.ct_head", "segmented"),
+            ("labs", "hidden"),
+            ("consult.voice_note", "transcript"),
+            ("imaging.ct_head", "icon"),
+        ]
+        for component, value in script:
+            lee.choose(component, value)
+            network.run()
+        assert lee.displayed() == cho.displayed()
+        assert cho.displayed()["imaging.ct_head"] == "icon"
+        assert cho.displayed()["labs.ecg"] == "hidden"  # subtree hiding
+        assert len(cho.peer_events) == len(script)
+
+    def test_mixed_bandwidth_views_differ_then_align(self, rig):
+        store, network, server = rig
+        fast = attach(network, "fast", mbps=100.0)
+        slow = attach(network, "slow", mbps=0.2)
+        fast.join("record-17")
+        slow.join("record-17")
+        network.run()
+        slow.choose(TUNING_VARIABLE, "low", scope="personal")
+        network.run()
+        assert fast.displayed()["imaging.ct_head"] == "flat"
+        assert slow.displayed()["imaging.ct_head"] == "icon"
+        # An explicit shared choice overrides the tuning preference.
+        fast.choose("imaging.ct_head", "segmented")
+        network.run()
+        assert slow.displayed()["imaging.ct_head"] == "segmented"
+
+    def test_operations_persist_across_sessions(self, rig):
+        store, network, server = rig
+        lee = attach(network, "lee")
+        lee.join("record-17")
+        network.run()
+        lee.operate("imaging.ct_head", "measurement", global_importance=True)
+        network.run()
+        lee.leave()
+        network.run()
+        # Second consultation, different viewer: the operation is there.
+        cho = attach(network, "cho")
+        cho.join("record-17")
+        network.run()
+        assert "imaging.ct_head.measurement" in cho.displayed()
+
+    def test_room_closes_and_reopens_cleanly(self, rig):
+        store, network, server = rig
+        lee = attach(network, "lee")
+        lee.join("record-17")
+        network.run()
+        first_room = lee.room_id
+        lee.leave()
+        network.run()
+        assert server.room_ids == ()
+        lee2 = attach(network, "lee2")
+        lee2.join("record-17")
+        network.run()
+        assert lee2.room_id is not None
+        assert lee2.room_id != first_room
+
+
+class TestPersistenceAcrossRestart:
+    def test_full_restart_round_trip(self, tmp_path):
+        path = str(tmp_path / "db")
+        doc = build_sample_medical_record("restart-doc")
+        with Database(path) as db:
+            store = MultimediaObjectStore(db)
+            store.store_document(doc)
+            ct = store.store_image(b"ct-pixels" * 1000, quality=2)
+            db.checkpoint()
+        # Fresh process: open the same directory, conference again.
+        with Database(path) as db:
+            store = MultimediaObjectStore(db)
+            network = SimulatedNetwork()
+            InteractionServer(store, network=network)
+            client = attach(network, "resumer")
+            client.join("restart-doc")
+            network.run()
+            assert client.displayed()["imaging.ct_head"] == "flat"
+            row, payload = store.fetch(ct)
+            assert payload == b"ct-pixels" * 1000
+
+    def test_scripted_session_replays_identically(self, tmp_path):
+        """Determinism across the whole stack (same seed, same traffic)."""
+        def run_once(tag):
+            db = Database(str(tmp_path / f"db-{tag}"))
+            store = MultimediaObjectStore(db)
+            store.store_document(generate_record("det", sections=3, seed=5))
+            network = SimulatedNetwork()
+            InteractionServer(store, network=network)
+            client = attach(network, "viewer")
+            client.join("det")
+            network.run()
+            for component, value in consultation_events(
+                generate_record("det", sections=3, seed=5), num_events=8, seed=3
+            ):
+                client.choose(component, value)
+                network.run()
+            result = (client.displayed(), network.stats.messages, network.stats.bytes_total)
+            db.close()
+            return result
+
+        assert run_once("a") == run_once("b")
+
+
+class TestErrorPaths:
+    def test_unknown_document_error_reaches_client(self, rig):
+        store, network, server = rig
+        client = attach(network, "lost")
+        client.join("no-such-record")
+        network.run()
+        assert client.errors
+        assert client.session_id is None or client.room_id is None
+
+    def test_freeze_conflict_over_network(self, rig):
+        store, network, server = rig
+        lee = attach(network, "lee")
+        cho = attach(network, "cho")
+        lee.join("record-17")
+        cho.join("record-17")
+        network.run()
+        lee.freeze("imaging.ct_head")
+        cho.freeze("imaging.ct_head")
+        network.run()
+        assert cho.errors and cho.errors[0]["error"] == "FrozenObjectError"

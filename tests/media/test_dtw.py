@@ -1,0 +1,99 @@
+"""Unit tests for the DTW template-matching baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AudioError
+from repro.media.audio.dtw import DTWWordSpotter, dtw_distance
+from repro.media.audio.synth import DEFAULT_SPEAKERS, FILLERS, KEYWORDS, synth_word
+
+ADAMS, BAKER, COSTA, _ = DEFAULT_SPEAKERS
+TRIO = (ADAMS, BAKER, COSTA)
+
+
+@pytest.fixture(scope="module")
+def spotter():
+    examples = {
+        word: [
+            synth_word(word, speaker, seed=31 * i + hash(word) % 97)
+            for i in range(2)
+            for speaker in TRIO
+        ]
+        for word in KEYWORDS
+    }
+    garbage = [
+        synth_word(filler, speaker, seed=7 * i)
+        for i in range(2)
+        for speaker in TRIO
+        for filler in FILLERS
+    ]
+    return DTWWordSpotter(KEYWORDS).train(examples, garbage)
+
+
+class TestDTWDistance:
+    def test_identical_sequences_zero(self):
+        features = np.random.default_rng(0).normal(size=(20, 4))
+        assert dtw_distance(features, features) == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(15, 3))
+        b = rng.normal(size=(22, 3))
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_warping_beats_rigid_alignment(self):
+        """A time-stretched copy is much closer under DTW than its raw
+        frame-by-frame distance."""
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=(20, 3))
+        stretched = np.repeat(base, 2, axis=0)
+        warped = dtw_distance(base, stretched)
+        rigid = float(np.mean(np.linalg.norm(stretched[:20] - base, axis=1)))
+        assert warped < rigid / 2
+
+    def test_distinct_signals_far(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 1, size=(20, 3))
+        b = rng.normal(8, 1, size=(20, 3))
+        assert dtw_distance(a, b) > 2.0
+
+    def test_band_widens_to_reach_corner(self):
+        a = np.zeros((30, 2))
+        b = np.zeros((5, 2))
+        # band=1 alone could not reach (30, 5); the corridor auto-widens.
+        assert dtw_distance(a, b, band=1) == pytest.approx(0.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(AudioError):
+            dtw_distance(np.zeros((5, 3)), np.zeros((5, 4)))
+        with pytest.raises(AudioError):
+            dtw_distance(np.zeros(5), np.zeros((5, 2)))
+
+
+class TestDTWWordSpotter:
+    def test_keywords_recognized(self, spotter):
+        for word in KEYWORDS:
+            result = spotter.spot(synth_word(word, BAKER, seed=555))
+            assert result.keyword == word
+
+    def test_fillers_rejected(self, spotter):
+        for filler in FILLERS:
+            result = spotter.spot(synth_word(filler, COSTA, seed=556))
+            assert result.keyword is None
+
+    def test_template_count(self, spotter):
+        assert spotter.template_count == len(KEYWORDS) * 6 + len(FILLERS) * 6
+
+    def test_untrained_rejected(self):
+        with pytest.raises(AudioError, match="not trained"):
+            DTWWordSpotter(KEYWORDS).spot(synth_word("lesion", ADAMS))
+
+    def test_training_validation(self):
+        with pytest.raises(AudioError):
+            DTWWordSpotter(())
+        with pytest.raises(AudioError, match="no keyword templates"):
+            DTWWordSpotter(("lesion",)).train({}, [synth_word("filler_a", ADAMS)])
+        with pytest.raises(AudioError, match="no garbage templates"):
+            DTWWordSpotter(("lesion",)).train(
+                {"lesion": [synth_word("lesion", ADAMS)]}, []
+            )

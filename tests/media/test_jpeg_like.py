@@ -1,0 +1,113 @@
+"""Unit tests for the JPEG-style baseline codec."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.media.image import Image, MultiLayerCodec, ct_phantom, psnr
+from repro.media.image.jpeg_like import (
+    _zigzag_order,
+    blocking_artifact_index,
+    jpeg_decode,
+    jpeg_encode,
+    jpeg_encode_to_budget,
+)
+
+
+@pytest.fixture(scope="module")
+def phantom():
+    return ct_phantom(128, seed=9)
+
+
+class TestZigzag:
+    def test_is_permutation(self):
+        order = _zigzag_order()
+        assert sorted(order) == list(range(64))
+
+    def test_standard_prefix(self):
+        # The canonical JPEG zigzag starts 0, 1, 8, 16, 9, 2, ...
+        assert list(_zigzag_order()[:6]) == [0, 1, 8, 16, 9, 2]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("quality", [90, 50, 10])
+    def test_decode_inverts_encode(self, phantom, quality):
+        decoded = jpeg_decode(jpeg_encode(phantom, quality))
+        assert decoded.shape == phantom.shape
+        assert psnr(phantom, decoded) > 20.0
+
+    def test_quality_monotone(self, phantom):
+        values = [
+            psnr(phantom, jpeg_decode(jpeg_encode(phantom, q))) for q in (10, 50, 90)
+        ]
+        assert values == sorted(values)
+
+    def test_size_monotone(self, phantom):
+        sizes = [len(jpeg_encode(phantom, q)) for q in (10, 50, 90)]
+        assert sizes == sorted(sizes)
+
+    def test_flat_image_compresses_hard(self):
+        stream = jpeg_encode(Image(np.full((64, 64), 128.0)), 50)
+        assert len(stream) < 300
+
+    def test_bad_quality(self, phantom):
+        with pytest.raises(CodecError):
+            jpeg_encode(phantom, 0)
+        with pytest.raises(CodecError):
+            jpeg_encode(phantom, 101)
+
+    def test_must_tile(self):
+        with pytest.raises(CodecError, match="tile"):
+            jpeg_encode(Image.zeros(100, 100))
+
+    def test_corrupt_stream(self, phantom):
+        stream = jpeg_encode(phantom, 50)
+        with pytest.raises(CodecError):
+            jpeg_decode(stream[: _header_len() + 10])
+        with pytest.raises(CodecError):
+            jpeg_decode(b"xx")
+
+
+def _header_len():
+    from repro.media.image.jpeg_like import _HEADER
+
+    return _HEADER.size
+
+
+class TestBudget:
+    def test_fits_budget(self, phantom):
+        stream, quality = jpeg_encode_to_budget(phantom, 6000)
+        assert len(stream) <= 6000
+        assert 1 <= quality <= 100
+
+    def test_impossible_budget(self, phantom):
+        with pytest.raises(CodecError, match="exceeds"):
+            jpeg_encode_to_budget(phantom, 16)
+
+
+class TestBlockingArtifacts:
+    def test_clean_image_near_one(self, phantom):
+        # Sensor noise and ellipse edges land on grid lines by chance, so
+        # a clean image sits near (not exactly at) 1.0.
+        assert blocking_artifact_index(phantom) < 1.25
+
+    def test_harsh_jpeg_blocks_visibly(self, phantom):
+        harsh = jpeg_decode(jpeg_encode(phantom, 5))
+        assert blocking_artifact_index(harsh) > 1.4
+
+    def test_multilayer_blocks_less_than_jpeg_at_matched_rate(self, phantom):
+        """The reason the paper's codec exists (ref [3]: reducing the JPEG
+        blocking effect)."""
+        encoded = MultiLayerCodec(base_step=64.0).encode(phantom, num_layers=1)
+        budget = encoded.prefix_size(1)
+        decoded_ml = MultiLayerCodec.decode(encoded, 1)
+        stream, _ = jpeg_encode_to_budget(phantom, max(budget, 2200))
+        decoded_jpeg = jpeg_decode(stream)
+        assert blocking_artifact_index(decoded_ml) < blocking_artifact_index(decoded_jpeg)
+
+    def test_synthetic_blocked_image_detected(self):
+        pixels = np.zeros((64, 64))
+        for row in range(0, 64, 8):
+            pixels[row : row + 8, :] = (row // 8) * 30.0
+        # Pure block staircase: every jump lies exactly on the grid.
+        assert blocking_artifact_index(Image(pixels)) > 5.0

@@ -1,0 +1,78 @@
+"""Tests for language identification ("In what language are they
+talking?" — one of the paper's browsing questions)."""
+
+import pytest
+
+from repro.errors import AudioError
+from repro.media.audio import ConversationBuilder, LanguageIdentifier, segment_audio
+from repro.media.audio.synth import DEFAULT_SPEAKERS, LANGUAGES, synth_word
+
+TRIO = DEFAULT_SPEAKERS[:3]
+
+
+@pytest.fixture(scope="module")
+def identifier():
+    return LanguageIdentifier.train_default(DEFAULT_SPEAKERS, utterances_per_language=16, seed=3)
+
+
+class TestVocabularies:
+    def test_two_languages_defined(self):
+        assert set(LANGUAGES) == {"lingua-a", "lingua-b"}
+        assert LANGUAGES["lingua-a"] is not LANGUAGES["lingua-b"]
+
+    def test_word_language_routing(self):
+        signal = synth_word("befund", TRIO[0], language="lingua-b")
+        assert signal.duration_s > 0.3
+        with pytest.raises(AudioError, match="unknown word"):
+            synth_word("befund", TRIO[0], language="lingua-a")
+        with pytest.raises(AudioError, match="unknown language"):
+            synth_word("lesion", TRIO[0], language="klingon")
+
+
+class TestIdentification:
+    def test_accuracy_across_speakers_and_words(self, identifier):
+        correct = total = 0
+        for language, vocabulary in LANGUAGES.items():
+            for word in sorted(vocabulary):
+                for speaker in DEFAULT_SPEAKERS:
+                    decision = identifier.identify(
+                        synth_word(word, speaker, seed=404, language=language)
+                    )
+                    correct += decision.language == language
+                    total += 1
+        assert correct / total >= 0.85
+
+    def test_margin_positive(self, identifier):
+        decision = identifier.identify(
+            synth_word("dringend", TRIO[1], seed=11, language="lingua-b")
+        )
+        assert decision.score_margin > 0
+
+    def test_identifies_segments_of_mixed_conversation(self, identifier):
+        builder = (
+            ConversationBuilder(seed=77)
+            .pause(0.3)
+            .say(TRIO[0], "lesion")
+            .pause(0.3)
+            .say(TRIO[1], "befund", language="lingua-b")
+            .pause(0.3)
+        )
+        signal, _ = builder.build()
+        segments = segment_audio(signal)
+        results = identifier.identify_segments(signal, segments)
+        assert len(results) == 2
+        assert results[0][1].language == "lingua-a"
+        assert results[1][1].language == "lingua-b"
+
+    def test_untrained_rejected(self):
+        with pytest.raises(AudioError, match="not trained"):
+            LanguageIdentifier().identify(synth_word("lesion", TRIO[0]))
+
+    def test_training_validation(self):
+        with pytest.raises(AudioError, match="two languages"):
+            LanguageIdentifier().train({"only": [synth_word("lesion", TRIO[0])]})
+        with pytest.raises(AudioError, match="no samples"):
+            LanguageIdentifier().train({"a": [synth_word("lesion", TRIO[0])], "b": []})
+
+    def test_languages_listing(self, identifier):
+        assert identifier.languages == ("lingua-a", "lingua-b")

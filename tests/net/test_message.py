@@ -1,0 +1,31 @@
+"""Unit tests for network messages."""
+
+import pytest
+
+from repro.net import Message
+
+
+class TestMessage:
+    def test_ids_monotonic(self):
+        first = Message("a", "b", "x")
+        second = Message("a", "b", "x")
+        assert second.message_id > first.message_id
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message("a", "b", "x", size_bytes=-1)
+
+    def test_str_mentions_route_and_size(self):
+        message = Message("client-1", "server", "choice", size_bytes=42)
+        text = str(message)
+        assert "client-1->server" in text
+        assert "42B" in text
+        assert "choice" in text
+
+    def test_frozen(self):
+        message = Message("a", "b", "x")
+        with pytest.raises(AttributeError):
+            message.kind = "y"
+
+    def test_payload_default_none(self):
+        assert Message("a", "b", "x").payload is None

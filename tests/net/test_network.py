@@ -1,0 +1,153 @@
+"""Unit tests for the simulated star network."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import Link, Message, SimulatedNetwork
+from repro.net.link import MBPS
+
+
+class Recorder:
+    """A node that records everything it receives, with arrival times."""
+
+    def __init__(self, node_id: str, network: SimulatedNetwork | None = None) -> None:
+        self.node_id = node_id
+        self._network = network
+        self.received: list[tuple[float, Message]] = []
+
+    def attach(self, network: SimulatedNetwork) -> None:
+        self._network = network
+
+    def receive(self, message: Message) -> None:
+        assert self._network is not None
+        self.received.append((self._network.clock.now, message))
+
+
+@pytest.fixture
+def net():
+    network = SimulatedNetwork()
+    hub = Recorder("server")
+    hub.attach(network)
+    network.attach_hub(hub)
+    return network
+
+
+def add_client(net, name, bandwidth=10 * MBPS, latency=0.0):
+    client = Recorder(name)
+    client.attach(net)
+    net.attach_client(
+        client,
+        uplink=Link(bandwidth_bps=bandwidth, latency_s=latency),
+        downlink=Link(bandwidth_bps=bandwidth, latency_s=latency),
+    )
+    return client
+
+
+class TestTopology:
+    def test_single_hub(self, net):
+        with pytest.raises(NetworkError, match="hub already"):
+            net.attach_hub(Recorder("other"))
+
+    def test_duplicate_client(self, net):
+        add_client(net, "c1")
+        with pytest.raises(NetworkError, match="already attached"):
+            net.attach_client(Recorder("c1"))
+
+    def test_client_ids(self, net):
+        add_client(net, "c1")
+        add_client(net, "c2")
+        assert set(net.client_ids) == {"c1", "c2"}
+        assert net.hub_id == "server"
+
+    def test_detach(self, net):
+        add_client(net, "c1")
+        net.detach_client("c1")
+        assert net.client_ids == ()
+        with pytest.raises(NetworkError):
+            net.detach_client("server")
+
+    def test_no_hub(self):
+        network = SimulatedNetwork()
+        with pytest.raises(NetworkError, match="no hub"):
+            network.hub_id
+
+
+class TestDelivery:
+    def test_hub_to_client(self, net):
+        client = add_client(net, "c1", latency=0.25)
+        net.send("server", "c1", "update", payload={"x": 1}, size_bytes=0)
+        net.run()
+        assert len(client.received) == 1
+        time, message = client.received[0]
+        assert time == pytest.approx(0.25)
+        assert message.payload == {"x": 1}
+
+    def test_client_to_hub(self, net):
+        add_client(net, "c1", latency=0.1)
+        net.send("c1", "server", "choice", size_bytes=100)
+        net.run()
+        hub = net.node("server")
+        assert len(hub.received) == 1
+
+    def test_client_to_client_rejected(self, net):
+        add_client(net, "c1")
+        add_client(net, "c2")
+        with pytest.raises(NetworkError, match="hub<->client"):
+            net.send("c1", "c2", "chat")
+
+    def test_unknown_nodes_rejected(self, net):
+        with pytest.raises(NetworkError, match="unknown sender"):
+            net.send("ghost", "server", "x")
+        with pytest.raises(NetworkError, match="unknown recipient"):
+            net.send("server", "ghost", "x")
+
+    def test_bandwidth_differentiates_arrival(self, net):
+        fast = add_client(net, "fast", bandwidth=10 * MBPS)
+        slow = add_client(net, "slow", bandwidth=1 * MBPS)
+        payload_bytes = 1_250_000  # 10 Mbit
+        net.send("server", "fast", "image", size_bytes=payload_bytes)
+        net.send("server", "slow", "image", size_bytes=payload_bytes)
+        net.run()
+        fast_time = fast.received[0][0]
+        slow_time = slow.received[0][0]
+        assert fast_time == pytest.approx(1.0)
+        assert slow_time == pytest.approx(10.0)
+
+    def test_messages_to_detached_client_dropped(self, net):
+        client = add_client(net, "c1", latency=1.0)
+        net.send("server", "c1", "update", size_bytes=10)
+        net.detach_client("c1")
+        net.run()
+        assert client.received == []
+
+    def test_per_client_links_do_not_interfere(self, net):
+        a = add_client(net, "a", bandwidth=1 * MBPS)
+        b = add_client(net, "b", bandwidth=1 * MBPS)
+        net.send("server", "a", "image", size_bytes=125_000)
+        net.send("server", "b", "image", size_bytes=125_000)
+        net.run()
+        # Separate downlinks -> both arrive at t=1, not serialized.
+        assert a.received[0][0] == pytest.approx(1.0)
+        assert b.received[0][0] == pytest.approx(1.0)
+
+
+class TestStats:
+    def test_traffic_accounting(self, net):
+        add_client(net, "c1")
+        net.send("server", "c1", "update", size_bytes=100)
+        net.send("server", "c1", "update", size_bytes=50)
+        net.send("c1", "server", "choice", size_bytes=10)
+        net.run()
+        assert net.stats.messages == 3
+        assert net.stats.bytes_total == 160
+        assert net.stats.bytes_by_kind["update"] == 150
+        assert net.stats.messages_by_kind["choice"] == 1
+
+    def test_link_stats_and_reset(self, net):
+        add_client(net, "c1")
+        net.send("server", "c1", "update", size_bytes=100)
+        net.run()
+        assert net.downlink("c1").bytes_carried == 100
+        net.reset_stats()
+        assert net.stats.messages == 0
+        assert net.downlink("c1").bytes_carried == 0

@@ -1,0 +1,106 @@
+"""Unit tests for the simulation clock and links."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import Link, SimClock
+from repro.net.link import KBPS, MBPS
+
+
+class TestSimClock:
+    def test_events_in_time_order(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(3.0, lambda: seen.append("c"))
+        clock.schedule(1.0, lambda: seen.append("a"))
+        clock.schedule(2.0, lambda: seen.append("b"))
+        clock.run()
+        assert seen == ["a", "b", "c"]
+        assert clock.now == 3.0
+
+    def test_fifo_among_equal_times(self):
+        clock = SimClock()
+        seen = []
+        for label in "abc":
+            clock.schedule(1.0, lambda label=label: seen.append(label))
+        clock.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_nested_scheduling(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(1.0, lambda: clock.schedule(1.0, lambda: seen.append("inner")))
+        clock.run()
+        assert seen == ["inner"]
+        assert clock.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(NetworkError):
+            SimClock().schedule(-0.1, lambda: None)
+
+    def test_run_until(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(1.0, lambda: seen.append(1))
+        clock.schedule(5.0, lambda: seen.append(5))
+        clock.run_until(2.0)
+        assert seen == [1]
+        assert clock.now == 2.0
+        assert clock.pending == 1
+
+    def test_runaway_guard(self):
+        clock = SimClock()
+
+        def reschedule():
+            clock.schedule(0.1, reschedule)
+
+        clock.schedule(0.0, reschedule)
+        with pytest.raises(NetworkError, match="exceeded"):
+            clock.run(max_events=100)
+
+    def test_step_empty(self):
+        assert SimClock().step() is False
+
+
+class TestLink:
+    def test_transmission_time(self):
+        link = Link(bandwidth_bps=1 * MBPS, latency_s=0.0)
+        assert link.transmission_time(125_000) == pytest.approx(1.0)
+
+    def test_transfer_includes_latency(self):
+        link = Link(bandwidth_bps=1 * MBPS, latency_s=0.5)
+        arrival = link.schedule_transfer(now=0.0, size_bytes=125_000)
+        assert arrival == pytest.approx(1.5)
+
+    def test_fifo_serialization(self):
+        link = Link(bandwidth_bps=1 * MBPS, latency_s=0.0)
+        first = link.schedule_transfer(0.0, 125_000)
+        second = link.schedule_transfer(0.0, 125_000)
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)  # queued behind the first
+
+    def test_idle_gap_not_charged(self):
+        link = Link(bandwidth_bps=1 * MBPS, latency_s=0.0)
+        link.schedule_transfer(0.0, 125_000)
+        arrival = link.schedule_transfer(10.0, 125_000)  # link idle since t=1
+        assert arrival == pytest.approx(11.0)
+
+    def test_queueing_delay(self):
+        link = Link(bandwidth_bps=1 * MBPS, latency_s=0.0)
+        link.schedule_transfer(0.0, 125_000)
+        assert link.queueing_delay(0.5) == pytest.approx(0.5)
+        assert link.queueing_delay(2.0) == 0.0
+
+    def test_stats(self):
+        link = Link(bandwidth_bps=1 * KBPS)
+        link.schedule_transfer(0.0, 10)
+        link.schedule_transfer(0.0, 20)
+        assert (link.bytes_carried, link.messages_carried) == (30, 2)
+        link.reset_stats()
+        assert link.bytes_carried == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            Link(latency_s=-1)

@@ -1,0 +1,79 @@
+"""Unit tests for the CP-net prefetch predictor."""
+
+import pytest
+
+from repro.document import build_sample_medical_record
+from repro.prefetch import CPNetPredictor
+from repro.workloads import generate_record
+
+
+@pytest.fixture
+def doc():
+    return build_sample_medical_record()
+
+
+@pytest.fixture
+def predictor(doc):
+    return CPNetPredictor(doc)
+
+
+class TestCandidates:
+    def test_excludes_displayed_payloads(self, doc, predictor):
+        outcome = doc.default_presentation()
+        for candidate in predictor.candidates(outcome):
+            assert outcome.get(candidate.component) != candidate.value
+
+    def test_only_payload_bearing_alternatives(self, doc, predictor):
+        for candidate in predictor.candidates(doc.default_presentation()):
+            assert candidate.size_bytes > 0
+
+    def test_sorted_by_score(self, doc, predictor):
+        candidates = predictor.candidates(doc.default_presentation())
+        scores = [c.score for c in candidates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_author_next_best_ranks_high(self):
+        doc = generate_record("p", sections=3, components_per_section=3, seed=4)
+        predictor = CPNetPredictor(doc)
+        outcome = doc.default_presentation()
+        top = predictor.candidates(outcome, max_candidates=12)
+        # Top candidates should be the expanded ("flat"/"play"/"full") forms
+        # of on-screen components — the author's rank-1 alternatives.
+        expanded = {"flat", "play", "full"}
+        assert sum(1 for c in top if c.value in expanded) >= len(top) // 2
+
+    def test_consequences_included(self, doc, predictor):
+        # Hypothetically iconifying the CT pulls the X-ray to "flat":
+        # that payload must appear among the candidates.
+        outcome = doc.default_presentation()
+        keys = {(c.component, c.value) for c in predictor.candidates(outcome)}
+        assert ("imaging.xray_chest", "flat") in keys
+
+    def test_locality_boost_reorders(self):
+        doc = generate_record("p", sections=4, components_per_section=3, seed=4)
+        predictor = CPNetPredictor(doc)
+        outcome = doc.default_presentation()
+        plain = predictor.candidates(outcome, max_candidates=6)
+        sections = {c.component.split(".")[0] for c in plain}
+        target = sorted(sections)[-1]
+        recent = [
+            path for path in doc.component_paths() if path.startswith(target + ".")
+        ][:1]
+        boosted = predictor.candidates(outcome, recent_choices=recent, max_candidates=6)
+        top_sections = [c.component.split(".")[0] for c in boosted[:3]]
+        assert target in top_sections
+
+    def test_max_candidates(self, doc, predictor):
+        assert len(predictor.candidates(doc.default_presentation(), max_candidates=3)) == 3
+
+    def test_keys(self, doc, predictor):
+        candidate = predictor.candidates(doc.default_presentation())[0]
+        assert candidate.key == f"{candidate.component}={candidate.value}"
+
+    def test_parameter_validation(self, doc):
+        with pytest.raises(ValueError):
+            CPNetPredictor(doc, rank_decay=0.0)
+        with pytest.raises(ValueError):
+            CPNetPredictor(doc, rank_decay=1.0)
+        with pytest.raises(ValueError):
+            CPNetPredictor(doc, consequence_discount=1.5)

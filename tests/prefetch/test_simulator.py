@@ -1,0 +1,96 @@
+"""Unit tests for the prefetch session simulator."""
+
+import pytest
+
+from repro.errors import PrefetchError
+from repro.prefetch import POLICIES, POLICY_CPNET, POLICY_NONE, POLICY_RANDOM, PrefetchSimulator
+from repro.workloads import consultation_events, generate_record
+
+
+def make_doc():
+    return generate_record("sim", sections=4, components_per_section=3, seed=2)
+
+
+def make_events(rationality=0.9, num=15, seed=7):
+    return consultation_events(make_doc(), num_events=num, rationality=rationality, seed=seed)
+
+
+def run(policy, bandwidth=4_000_000, buffer_bytes=3_000_000, events=None, seed=1):
+    simulator = PrefetchSimulator(
+        make_doc(), policy=policy, buffer_bytes=buffer_bytes,
+        bandwidth_bps=bandwidth, think_time_s=4.0, seed=seed,
+    )
+    return simulator.run(events if events is not None else make_events())
+
+
+class TestMechanics:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(PrefetchError, match="unknown policy"):
+            PrefetchSimulator(make_doc(), policy="psychic")
+
+    def test_report_counts(self):
+        events = make_events(num=10)
+        report = run(POLICY_NONE, events=events)
+        assert report.events == 10
+        assert len(report.waits) == 11  # initial display + one per event
+        assert report.demand_requests >= report.demand_hits
+        assert report.total_wait_s == pytest.approx(sum(report.waits))
+
+    def test_none_policy_never_prefetches(self):
+        report = run(POLICY_NONE)
+        assert report.prefetch_bytes == 0
+        assert report.wasted_prefetch_bytes == 0
+
+    def test_prefetch_policies_spend_bytes(self):
+        assert run(POLICY_RANDOM).prefetch_bytes > 0
+        assert run(POLICY_CPNET).prefetch_bytes > 0
+
+    def test_repeat_choice_hits_cache(self):
+        doc = make_doc()
+        path = next(
+            p for p, n in doc.components().items()
+            if n.is_primitive and "flat" in n.domain
+        )
+        events = [(path, "flat"), (path, "icon"), (path, "flat")]
+        report = run(POLICY_NONE, events=events, buffer_bytes=8_000_000)
+        # The second display of "flat" must be served from the buffer.
+        assert report.waits[-1] == 0.0
+
+    def test_tiny_buffer_still_works(self):
+        report = run(POLICY_CPNET, buffer_bytes=64 * 1024)
+        assert report.demand_requests > 0  # no crash, just misses
+
+    def test_deterministic_given_seed(self):
+        events = make_events()
+        first = run(POLICY_RANDOM, events=events, seed=5)
+        second = run(POLICY_RANDOM, events=events, seed=5)
+        assert first.waits == second.waits
+
+
+class TestPolicyOrdering:
+    """The qualitative §4.4 claims: prefetching reduces waiting, and
+    preference-guided prefetching is at least as good as random."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        events = make_events(rationality=0.9, num=20)
+        return {
+            policy: PrefetchSimulator(
+                make_doc(), policy=policy, buffer_bytes=3_000_000,
+                bandwidth_bps=4_000_000, think_time_s=4.0, seed=1,
+            ).run(events)
+            for policy in POLICIES
+        }
+
+    def test_prefetch_beats_none_on_wait(self, reports):
+        assert reports[POLICY_CPNET].total_wait_s <= reports[POLICY_NONE].total_wait_s
+
+    def test_cpnet_at_least_matches_random(self, reports):
+        assert reports[POLICY_CPNET].total_wait_s <= reports[POLICY_RANDOM].total_wait_s + 1e-9
+
+    def test_hit_rates_ordered(self, reports):
+        assert reports[POLICY_CPNET].hit_rate >= reports[POLICY_NONE].hit_rate
+
+    def test_mean_and_max_wait_consistent(self, reports):
+        for report in reports.values():
+            assert report.mean_wait_s <= report.max_wait_s

@@ -1,0 +1,122 @@
+"""Unit tests for the presentation engine."""
+
+import pytest
+
+from repro.document import build_sample_medical_record
+from repro.errors import DocumentError
+from repro.presentation import PresentationEngine, ViewerChoice
+from repro.presentation.engine import PERSONAL, SHARED
+
+
+@pytest.fixture
+def engine():
+    engine = PresentationEngine(build_sample_medical_record())
+    engine.register_viewer("lee")
+    engine.register_viewer("cho")
+    return engine
+
+
+class TestViewers:
+    def test_register_unregister(self, engine):
+        assert set(engine.viewer_ids) == {"lee", "cho"}
+        engine.unregister_viewer("cho")
+        assert engine.viewer_ids == ("lee",)
+
+    def test_register_idempotent(self, engine):
+        ext = engine.extension("lee")
+        engine.register_viewer("lee")
+        assert engine.extension("lee") is ext
+
+    def test_unknown_viewer_rejected(self, engine):
+        with pytest.raises(DocumentError, match="not registered"):
+            engine.presentation_for("ghost")
+        with pytest.raises(DocumentError):
+            engine.apply_choice(ViewerChoice("ghost", "labs", "hidden"))
+
+
+class TestChoices:
+    def test_default_presentations_equal(self, engine):
+        lee = engine.presentation_for("lee")
+        cho = engine.presentation_for("cho")
+        assert lee.outcome == cho.outcome
+        assert lee.viewer_id == "lee"
+
+    def test_shared_choice_constrains_everyone(self, engine):
+        engine.apply_choice(ViewerChoice("lee", "imaging.ct_head", "segmented"))
+        assert engine.presentation_for("cho").value("imaging.ct_head") == "segmented"
+
+    def test_personal_choice_constrains_only_owner(self, engine):
+        engine.apply_choice(
+            ViewerChoice("cho", "imaging.ct_head", "icon", scope=PERSONAL)
+        )
+        assert engine.presentation_for("cho").value("imaging.ct_head") == "icon"
+        assert engine.presentation_for("lee").value("imaging.ct_head") == "flat"
+
+    def test_shared_overrides_older_personal(self, engine):
+        engine.apply_choice(ViewerChoice("cho", "imaging.ct_head", "icon", scope=PERSONAL))
+        engine.apply_choice(ViewerChoice("lee", "imaging.ct_head", "segmented", scope=SHARED))
+        assert engine.presentation_for("cho").value("imaging.ct_head") == "segmented"
+
+    def test_personal_overrides_older_shared(self, engine):
+        engine.apply_choice(ViewerChoice("lee", "imaging.ct_head", "segmented", scope=SHARED))
+        engine.apply_choice(ViewerChoice("cho", "imaging.ct_head", "icon", scope=PERSONAL))
+        assert engine.presentation_for("cho").value("imaging.ct_head") == "icon"
+        assert engine.presentation_for("lee").value("imaging.ct_head") == "segmented"
+
+    def test_clear_choice(self, engine):
+        engine.apply_choice(ViewerChoice("lee", "imaging.ct_head", "icon"))
+        engine.clear_choice("lee", "imaging.ct_head")
+        assert engine.presentation_for("lee").value("imaging.ct_head") == "flat"
+
+    def test_bad_value_rejected(self, engine):
+        with pytest.raises(Exception):
+            engine.apply_choice(ViewerChoice("lee", "imaging.ct_head", "sideways"))
+
+    def test_bad_scope_rejected(self):
+        with pytest.raises(ValueError, match="scope"):
+            ViewerChoice("lee", "x", "y", scope="broadcast")
+
+    def test_choice_propagates_preferences(self, engine):
+        # The author couples the voice note to a visible CT.
+        engine.apply_choice(ViewerChoice("lee", "imaging.ct_head", "hidden"))
+        assert engine.presentation_for("lee").value("consult.voice_note") == "transcript"
+
+
+class TestOperations:
+    def test_personal_operation_only_for_owner(self, engine):
+        record = engine.apply_operation("lee", "imaging.ct_head", "zoom")
+        assert record.active_value == "flat"
+        assert "imaging.ct_head.zoom" in engine.presentation_for("lee").outcome
+        assert "imaging.ct_head.zoom" not in engine.presentation_for("cho").outcome
+
+    def test_global_operation_for_everyone(self, engine):
+        engine.apply_operation("lee", "imaging.ct_head", "zoom", global_importance=True)
+        assert "imaging.ct_head.zoom" in engine.presentation_for("cho").outcome
+
+    def test_operation_active_value_follows_current_view(self, engine):
+        engine.apply_choice(ViewerChoice("lee", "imaging.ct_head", "segmented"))
+        record = engine.apply_operation("lee", "imaging.ct_head", "zoom")
+        assert record.active_value == "segmented"
+
+    def test_operation_on_unknown_component(self, engine):
+        with pytest.raises(DocumentError):
+            engine.apply_operation("lee", "no.such", "zoom")
+
+
+class TestSpecs:
+    def test_spec_measures(self, engine):
+        spec = engine.presentation_for("lee")
+        assert spec.total_bytes > 0
+        assert "imaging.ct_head" in spec.visible
+        assert spec.is_visible("imaging.ct_head")
+        assert len(spec) == 10
+
+    def test_presentations_covers_all_viewers(self, engine):
+        specs = engine.presentations()
+        assert set(specs) == {"lee", "cho"}
+
+    def test_hiding_composite_cascades_in_spec(self, engine):
+        engine.apply_choice(ViewerChoice("lee", "imaging", "hidden"))
+        spec = engine.presentation_for("lee")
+        assert spec.value("imaging.ct_head") == "hidden"
+        assert not spec.is_visible("imaging.ct_head")

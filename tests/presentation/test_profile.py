@@ -1,0 +1,147 @@
+"""Unit tests for optional long-term viewer profiles."""
+
+import pytest
+
+from repro.db import Database, MultimediaObjectStore
+from repro.document import build_sample_medical_record
+from repro.presentation.profile import ViewerProfile
+from repro.server import InteractionServer
+
+
+@pytest.fixture
+def doc():
+    return build_sample_medical_record()
+
+
+class TestViewerProfile:
+    def test_no_habit_below_min_observations(self):
+        profile = ViewerProfile("lee")
+        profile.record_choice("imaging.ct_head", "segmented")
+        profile.record_choice("imaging.ct_head", "segmented")
+        assert profile.habitual_value("imaging.ct_head") is None
+
+    def test_habit_emerges_with_majority(self):
+        profile = ViewerProfile("lee")
+        for _ in range(3):
+            profile.record_choice("imaging.ct_head", "segmented")
+        assert profile.habitual_value("imaging.ct_head") == "segmented"
+
+    def test_no_habit_without_majority(self):
+        profile = ViewerProfile("lee")
+        for value in ("segmented", "flat", "icon", "segmented"):
+            profile.record_choice("imaging.ct_head", value)
+        assert profile.habitual_value("imaging.ct_head") is None
+
+    def test_habits_filtered_to_document(self, doc):
+        profile = ViewerProfile("lee")
+        for _ in range(3):
+            profile.record_choice("imaging.ct_head", "segmented")
+            profile.record_choice("ghost.component", "x")
+            profile.record_choice("labs.ecg", "nonexistent-value")
+        habits = profile.habits_for(doc)
+        assert habits == {"imaging.ct_head": "segmented"}
+
+    def test_round_trip(self):
+        profile = ViewerProfile("lee")
+        for _ in range(4):
+            profile.record_choice("labs", "hidden")
+        restored = ViewerProfile.from_dict(profile.to_dict())
+        assert restored.viewer_id == "lee"
+        assert restored.habitual_value("labs") == "hidden"
+        assert restored.observations("labs") == 4
+
+
+class TestProfileStore:
+    def test_save_and_load(self, tmp_path):
+        with Database(str(tmp_path / "db")) as db:
+            store = MultimediaObjectStore(db)
+            profile = ViewerProfile("lee")
+            for _ in range(3):
+                profile.record_choice("labs", "hidden")
+            store.save_profile(profile)
+            loaded = store.load_profile("lee")
+            assert loaded.habitual_value("labs") == "hidden"
+
+    def test_load_missing_is_empty(self, tmp_path):
+        with Database(str(tmp_path / "db")) as db:
+            profile = MultimediaObjectStore(db).load_profile("nobody")
+            assert profile.observations("anything") == 0
+
+    def test_save_updates_in_place(self, tmp_path):
+        with Database(str(tmp_path / "db")) as db:
+            store = MultimediaObjectStore(db)
+            profile = ViewerProfile("lee")
+            profile.record_choice("labs", "hidden")
+            store.save_profile(profile)
+            profile.record_choice("labs", "hidden")
+            store.save_profile(profile)
+            assert store.db.count("VIEWER_PROFILES_TABLE") == 1
+            assert store.load_profile("lee").observations("labs") == 2
+
+
+class TestServerIntegration:
+    def _session_cycle(self, server, choices):
+        """One consultation: join, make choices, disconnect."""
+        session = server.connect_session("dr-habit")
+        __, spec = server.join_room(session.session_id, "record-17")
+        for component, value in choices:
+            server.handle_choice(session.session_id, component, value)
+        server.disconnect_session(session.session_id)
+        return spec
+
+    @pytest.fixture
+    def server(self, tmp_path, doc):
+        db = Database(str(tmp_path / "db"))
+        store = MultimediaObjectStore(db)
+        store.store_document(doc)
+        yield InteractionServer(store, use_profiles=True)
+        db.close()
+
+    def test_habit_learned_across_sessions(self, server):
+        # Three consultations always segmenting the CT...
+        for _ in range(3):
+            spec = self._session_cycle(
+                server, [("imaging.ct_head", "segmented")]
+            )
+            assert spec.value("imaging.ct_head") == "flat"  # author default
+        # ...the fourth consultation greets the viewer segmented.
+        spec = self._session_cycle(server, [])
+        assert spec.value("imaging.ct_head") == "segmented"
+
+    def test_habit_is_personal_not_shared(self, server):
+        for _ in range(3):
+            self._session_cycle(server, [("imaging.ct_head", "segmented")])
+        habitual = server.connect_session("dr-habit")
+        fresh = server.connect_session("dr-fresh")
+        __, habit_spec = server.join_room(habitual.session_id, "record-17")
+        __, fresh_spec = server.join_room(fresh.session_id, "record-17")
+        assert habit_spec.value("imaging.ct_head") == "segmented"
+        assert fresh_spec.value("imaging.ct_head") == "flat"
+
+    def test_profiles_survive_server_restart(self, tmp_path, doc):
+        path = str(tmp_path / "db-restart")
+        with Database(path) as db:
+            store = MultimediaObjectStore(db)
+            store.store_document(doc)
+            server = InteractionServer(store, use_profiles=True)
+            for _ in range(3):
+                self._session_cycle(server, [("labs", "hidden")])
+        with Database(path) as db:
+            server = InteractionServer(MultimediaObjectStore(db), use_profiles=True)
+            spec = self._session_cycle(server, [])
+            assert spec.value("labs") == "hidden"
+
+    def test_profiles_off_by_default(self, tmp_path, doc):
+        db = Database(str(tmp_path / "db-off"))
+        store = MultimediaObjectStore(db)
+        store.store_document(doc)
+        server = InteractionServer(store)  # use_profiles=False
+        for _ in range(4):
+            session = server.connect_session("dr-habit")
+            server.join_room(session.session_id, "record-17")
+            server.handle_choice(session.session_id, "imaging.ct_head", "segmented")
+            server.disconnect_session(session.session_id)
+        session = server.connect_session("dr-habit")
+        __, spec = server.join_room(session.session_id, "record-17")
+        assert spec.value("imaging.ct_head") == "flat"  # nothing learned
+        db.close()

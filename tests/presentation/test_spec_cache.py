@@ -1,0 +1,89 @@
+"""Unit tests for presentation-spec memoization."""
+
+import pytest
+
+from repro.document import build_sample_medical_record
+from repro.presentation import PresentationEngine, ViewerChoice
+
+
+@pytest.fixture
+def engine():
+    engine = PresentationEngine(build_sample_medical_record())
+    engine.register_viewer("lee")
+    engine.register_viewer("cho")
+    return engine
+
+
+class TestCaching:
+    def test_repeat_query_hits_cache(self, engine):
+        first = engine.presentation_for("lee")
+        second = engine.presentation_for("lee")
+        assert second is first
+        assert engine.cache_hits == 1
+        assert engine.cache_misses == 1
+
+    def test_shared_choice_invalidates_everyone(self, engine):
+        lee_before = engine.presentation_for("lee")
+        cho_before = engine.presentation_for("cho")
+        engine.apply_choice(ViewerChoice("lee", "imaging.ct_head", "segmented"))
+        assert engine.presentation_for("lee") is not lee_before
+        assert engine.presentation_for("cho") is not cho_before
+
+    def test_personal_choice_invalidates_only_owner(self, engine):
+        lee_before = engine.presentation_for("lee")
+        cho_before = engine.presentation_for("cho")
+        engine.apply_choice(
+            ViewerChoice("cho", "imaging.ct_head", "icon", scope="personal")
+        )
+        assert engine.presentation_for("lee") is lee_before  # cache hit
+        assert engine.presentation_for("cho") is not cho_before
+
+    def test_personal_operation_invalidates_only_owner(self, engine):
+        lee_before = engine.presentation_for("lee")
+        engine.apply_operation("cho", "imaging.ct_head", "zoom")
+        assert engine.presentation_for("lee") is lee_before
+        assert "imaging.ct_head.zoom" in engine.presentation_for("cho").outcome
+
+    def test_global_operation_invalidates_everyone(self, engine):
+        lee_before = engine.presentation_for("lee")
+        engine.apply_operation("cho", "imaging.ct_head", "zoom", global_importance=True)
+        refreshed = engine.presentation_for("lee")
+        assert refreshed is not lee_before
+        assert "imaging.ct_head.zoom" in refreshed.outcome
+
+    def test_clear_choice_invalidates(self, engine):
+        engine.apply_choice(ViewerChoice("lee", "imaging.ct_head", "icon"))
+        before = engine.presentation_for("lee")
+        engine.clear_choice("lee", "imaging.ct_head")
+        after = engine.presentation_for("lee")
+        assert after is not before
+        assert after.value("imaging.ct_head") == "flat"
+
+    def test_explicit_invalidate(self, engine):
+        before = engine.presentation_for("lee")
+        engine.document.network.add_variable("demographics.note", ("applied", "plain"),
+                                             parents=("demographics",))
+        engine.document.network.add_rule("demographics.note", {}, ("plain", "applied"))
+        engine.invalidate()
+        after = engine.presentation_for("lee")
+        assert after is not before
+        assert "demographics.note" in after.outcome
+
+    def test_unregister_drops_cache(self, engine):
+        engine.presentation_for("cho")
+        engine.unregister_viewer("cho")
+        engine.register_viewer("cho")
+        engine.presentation_for("cho")
+        assert engine.cache_misses >= 2
+
+    def test_cached_spec_values_correct_after_mixed_changes(self, engine):
+        """Correctness under the memoization, not just identity checks."""
+        engine.apply_choice(ViewerChoice("lee", "imaging.ct_head", "segmented"))
+        engine.apply_choice(ViewerChoice("cho", "labs", "hidden", scope="personal"))
+        for _ in range(3):
+            lee = engine.presentation_for("lee")
+            cho = engine.presentation_for("cho")
+            assert lee.value("imaging.ct_head") == "segmented"
+            assert lee.value("labs") == "shown"
+            assert cho.value("labs") == "hidden"
+            assert cho.value("labs.ecg") == "hidden"

@@ -1,0 +1,101 @@
+"""Unit tests for §4.4 bandwidth tuning variables."""
+
+import pytest
+
+from repro.document import build_sample_medical_record
+from repro.errors import CPNetError
+from repro.presentation import (
+    BANDWIDTH_HIGH,
+    BANDWIDTH_LOW,
+    BANDWIDTH_MEDIUM,
+    PresentationEngine,
+    TUNING_VARIABLE,
+    ViewerChoice,
+    install_bandwidth_tuning,
+    level_for_bandwidth,
+)
+from repro.presentation.tuning import budget_order
+
+
+@pytest.fixture
+def doc():
+    document = build_sample_medical_record()
+    install_bandwidth_tuning(document)
+    return document
+
+
+class TestInstallation:
+    def test_tunes_heavy_components_only(self, doc):
+        assert TUNING_VARIABLE in doc.network
+        assert TUNING_VARIABLE in doc.network.parents("imaging.ct_head")
+        # blood panel (4 KB) stays untouched
+        assert TUNING_VARIABLE not in doc.network.parents("labs.blood_panel")
+
+    def test_idempotence_guard(self, doc):
+        with pytest.raises(CPNetError, match="already installed"):
+            install_bandwidth_tuning(doc)
+
+    def test_network_still_valid(self, doc):
+        doc.network.validate()
+
+    def test_document_still_aligned(self, doc):
+        # tuning.* variables are tolerated by the alignment check.
+        from repro.document.serialize import document_from_json, document_to_json
+
+        clone = document_from_json(document_to_json(doc))
+        assert TUNING_VARIABLE in clone.network
+
+
+class TestBehaviour:
+    def test_high_bandwidth_keeps_author_preference(self, doc):
+        assert doc.default_presentation()["imaging.ct_head"] == "flat"
+
+    def test_low_bandwidth_prefers_cheap_presentations(self, doc):
+        outcome = doc.reconfig_presentation({TUNING_VARIABLE: BANDWIDTH_LOW})
+        assert outcome["imaging.ct_head"] == "icon"  # 8 KB fits the low budget
+        assert outcome["consult.voice_note"] == "transcript"
+
+    def test_medium_bandwidth_between(self, doc):
+        low = doc.reconfig_presentation({TUNING_VARIABLE: BANDWIDTH_LOW})
+        medium = doc.reconfig_presentation({TUNING_VARIABLE: BANDWIDTH_MEDIUM})
+        high = doc.reconfig_presentation({TUNING_VARIABLE: BANDWIDTH_HIGH})
+        assert doc.presentation_bytes(low) <= doc.presentation_bytes(medium)
+        assert doc.presentation_bytes(medium) <= doc.presentation_bytes(high)
+
+    def test_explicit_choice_beats_tuning(self, doc):
+        outcome = doc.reconfig_presentation(
+            {TUNING_VARIABLE: BANDWIDTH_LOW, "imaging.ct_head": "flat"}
+        )
+        assert outcome["imaging.ct_head"] == "flat"
+
+    def test_per_viewer_tuning_in_engine(self, doc):
+        engine = PresentationEngine(doc)
+        engine.register_viewer("fast")
+        engine.register_viewer("slow")
+        engine.apply_choice(
+            ViewerChoice("slow", TUNING_VARIABLE, BANDWIDTH_LOW, scope="personal")
+        )
+        fast_bytes = engine.presentation_for("fast").total_bytes
+        slow_bytes = engine.presentation_for("slow").total_bytes
+        assert slow_bytes < fast_bytes
+
+
+class TestHelpers:
+    def test_level_for_bandwidth(self):
+        assert level_for_bandwidth(100_000_000) == BANDWIDTH_HIGH
+        assert level_for_bandwidth(1_000_000) == BANDWIDTH_MEDIUM
+        assert level_for_bandwidth(64_000) == BANDWIDTH_LOW
+
+    def test_budget_order_stable_partition(self, doc):
+        ct = doc.component("imaging.ct_head")
+        order = ("flat", "segmented", "icon", "hidden")
+        cheap_first = budget_order(ct, order, budget=16 * 1024)
+        assert cheap_first[0] == "icon"
+        assert cheap_first[1] == "hidden"
+        # heavy ones follow cheapest-first: flat (512K) before segmented (640K)
+        assert cheap_first[2:] == ("flat", "segmented")
+
+    def test_budget_order_no_change_when_all_fit(self, doc):
+        ct = doc.component("imaging.ct_head")
+        order = ("flat", "segmented", "icon", "hidden")
+        assert budget_order(ct, order, budget=10**9) == order

@@ -1,0 +1,221 @@
+"""Unit tests for the interaction server (direct, non-networked mode)."""
+
+import pytest
+
+from repro.db import Database, MultimediaObjectStore
+from repro.document import build_sample_medical_record
+from repro.errors import PermissionError_, RoomError, ServerError
+from repro.server import InteractionServer, PermissionPolicy
+from repro.server.permissions import PERM_VIEW, VIEWER_GRANT
+
+
+@pytest.fixture
+def store(tmp_path):
+    db = Database(str(tmp_path / "db"))
+    store = MultimediaObjectStore(db)
+    store.store_document(build_sample_medical_record())
+    yield store
+    db.close()
+
+
+@pytest.fixture
+def server(store):
+    return InteractionServer(store)
+
+
+class TestSessions:
+    def test_connect_disconnect(self, server):
+        session = server.connect_session("lee")
+        assert session.session_id in server.session_ids
+        server.disconnect_session(session.session_id)
+        assert session.session_id not in server.session_ids
+
+    def test_unknown_session(self, server):
+        with pytest.raises(ServerError, match="unknown session"):
+            server.disconnect_session("ghost")
+
+    def test_disconnect_leaves_room(self, server):
+        session = server.connect_session("lee")
+        server.join_room(session.session_id, "record-17")
+        server.disconnect_session(session.session_id)
+        assert server.room_ids == ()
+
+
+class TestRooms:
+    def test_join_creates_room_and_spec(self, server):
+        session = server.connect_session("lee")
+        room, spec = server.join_room(session.session_id, "record-17")
+        assert room.room_id in server.room_ids
+        assert spec.value("imaging.ct_head") == "flat"
+        assert spec.viewer_id == "lee"
+
+    def test_second_join_reuses_room(self, server):
+        s1 = server.connect_session("lee")
+        s2 = server.connect_session("cho")
+        room1, _ = server.join_room(s1.session_id, "record-17")
+        room2, _ = server.join_room(s2.session_id, "record-17")
+        assert room1 is room2
+        assert set(room1.viewer_ids) == {"lee", "cho"}
+
+    def test_join_unknown_document(self, server):
+        session = server.connect_session("lee")
+        with pytest.raises(Exception, match="no document"):
+            server.join_room(session.session_id, "ghost-doc")
+
+    def test_double_join_rejected(self, server):
+        session = server.connect_session("lee")
+        server.join_room(session.session_id, "record-17")
+        with pytest.raises(RoomError, match="already in"):
+            server.join_room(session.session_id, "record-17")
+
+    def test_last_leave_persists_and_closes(self, server, store):
+        session = server.connect_session("lee")
+        server.join_room(session.session_id, "record-17")
+        server.handle_operation(
+            session.session_id, "imaging.ct_head", "zoom", global_importance=True
+        )
+        server.leave_room(session.session_id)
+        assert server.room_ids == ()
+        # The global operation was persisted with the document.
+        reloaded = store.fetch_document("record-17")
+        assert "imaging.ct_head.zoom" in reloaded.network
+
+    def test_leave_without_room(self, server):
+        session = server.connect_session("lee")
+        with pytest.raises(RoomError, match="not in a room"):
+            server.leave_room(session.session_id)
+
+
+class TestPropagation:
+    def test_choice_returns_diffs_per_member(self, server):
+        s1 = server.connect_session("lee")
+        s2 = server.connect_session("cho")
+        server.join_room(s1.session_id, "record-17")
+        server.join_room(s2.session_id, "record-17")
+        updates = server.handle_choice(s1.session_id, "imaging.ct_head", "segmented")
+        assert set(updates) == {s1.session_id, s2.session_id}
+        # The diff carries only affected components, not the whole outcome.
+        assert updates[s2.session_id]["imaging.ct_head"] == "segmented"
+        assert "labs" not in updates[s2.session_id]
+
+    def test_no_diff_no_update(self, server):
+        s1 = server.connect_session("lee")
+        server.join_room(s1.session_id, "record-17")
+        # Choosing the value already displayed changes nothing.
+        updates = server.handle_choice(s1.session_id, "imaging.ct_head", "flat")
+        assert updates == {}
+
+    def test_full_resend_mode(self, store):
+        server = InteractionServer(store, diff_propagation=False)
+        s1 = server.connect_session("lee")
+        server.join_room(s1.session_id, "record-17")
+        updates = server.handle_choice(s1.session_id, "imaging.ct_head", "segmented")
+        # Whole outcome resent, changed or not.
+        assert len(updates[s1.session_id]) == 10
+
+    def test_personal_choice_updates_only_owner(self, server):
+        s1 = server.connect_session("lee")
+        s2 = server.connect_session("cho")
+        server.join_room(s1.session_id, "record-17")
+        server.join_room(s2.session_id, "record-17")
+        updates = server.handle_choice(
+            s2.session_id, "imaging.ct_head", "icon", scope="personal"
+        )
+        assert set(updates) == {s2.session_id}
+
+    def test_operation_propagates_new_variable(self, server):
+        s1 = server.connect_session("lee")
+        server.join_room(s1.session_id, "record-17")
+        updates = server.handle_operation(s1.session_id, "imaging.ct_head", "zoom")
+        assert updates[s1.session_id]["imaging.ct_head.zoom"] == "applied"
+
+    def test_freeze_then_choice_by_other_raises(self, server):
+        s1 = server.connect_session("lee")
+        s2 = server.connect_session("cho")
+        server.join_room(s1.session_id, "record-17")
+        server.join_room(s2.session_id, "record-17")
+        server.handle_freeze(s1.session_id, "imaging.ct_head")
+        with pytest.raises(Exception, match="frozen"):
+            server.handle_choice(s2.session_id, "imaging.ct_head", "icon")
+        server.handle_release(s1.session_id, "imaging.ct_head")
+        server.handle_choice(s2.session_id, "imaging.ct_head", "icon")
+
+
+class TestPermissions:
+    def test_view_only_viewer_cannot_annotate(self, store):
+        policy = PermissionPolicy()
+        policy.grant("student", VIEWER_GRANT)
+        server = InteractionServer(store, policy=policy)
+        session = server.connect_session("student")
+        server.join_room(session.session_id, "record-17")
+        with pytest.raises(PermissionError_, match="annotate"):
+            server.handle_operation(session.session_id, "imaging.ct_head", "zoom")
+        # but choices are allowed
+        server.handle_choice(session.session_id, "imaging.ct_head", "icon")
+
+    def test_join_requires_view(self, store):
+        policy = PermissionPolicy()
+        policy.grant("banned", frozenset())
+        server = InteractionServer(store, policy=policy)
+        session = server.connect_session("banned")
+        with pytest.raises(PermissionError_, match=PERM_VIEW):
+            server.join_room(session.session_id, "record-17")
+
+    def test_store_document_requires_modify(self, store):
+        policy = PermissionPolicy()  # default consultant grant: no modify
+        server = InteractionServer(store, policy=policy)
+        session = server.connect_session("lee")
+        with pytest.raises(PermissionError_, match="modify"):
+            server.store_document(session.session_id, build_sample_medical_record())
+
+    def test_unknown_permission_rejected(self):
+        policy = PermissionPolicy()
+        with pytest.raises(ValueError, match="unknown permission"):
+            policy.grant("x", {"fly"})
+        with pytest.raises(ValueError):
+            policy.allows("x", "fly")
+
+
+class TestStats:
+    def test_snapshot_counts(self, server):
+        s1 = server.connect_session("lee")
+        s2 = server.connect_session("cho")
+        server.join_room(s1.session_id, "record-17")
+        server.join_room(s2.session_id, "record-17")
+        server.handle_choice(s1.session_id, "labs", "hidden")
+        server.handle_freeze(s1.session_id, "imaging.ct_head")
+        stats = server.stats()
+        assert stats["sessions"] == 2
+        assert stats["rooms"] == 1
+        assert stats["viewers_in_rooms"] == 2
+        assert stats["buffered_changes"] >= 1
+        assert stats["frozen_components"] == 1
+        assert stats["spec_cache_misses"] >= 1
+
+    def test_empty_server(self, server):
+        stats = server.stats()
+        assert stats == {
+            "sessions": 0,
+            "rooms": 0,
+            "viewers_in_rooms": 0,
+            "buffered_changes": 0,
+            "frozen_components": 0,
+            "spec_cache_hits": 0,
+            "spec_cache_misses": 0,
+            "triggers": 0,
+        }
+
+
+class TestPayloads:
+    def test_fetch_payload_by_media_ref(self, server, store):
+        obj = store.store_image(b"ct pixels")
+        session = server.connect_session("lee")
+        assert server.fetch_payload(session.session_id, obj.media_ref) == b"ct pixels"
+
+    def test_fetch_component_payload_size(self, server):
+        session = server.connect_session("lee")
+        server.join_room(session.session_id, "record-17")
+        size = server.fetch_component_payload(
+            session.session_id, "imaging.ct_head", "flat"
+        )
+        assert size == 512 * 1024

@@ -1,0 +1,60 @@
+"""Unit tests for protocol wire-size accounting and sessions."""
+
+import pytest
+
+from repro.server import MessageKind, Session, encoded_size
+
+
+class TestEncodedSize:
+    def test_scalars(self):
+        assert encoded_size(5) == 1
+        assert encoded_size(True) == 4  # "true"
+        assert encoded_size(None) == 4  # "null"
+        assert encoded_size("abc") == 5  # quoted
+
+    def test_bytes_charged_raw(self):
+        assert encoded_size(b"\x00" * 1000) == 1000
+
+    def test_structures(self):
+        flat = {"a": 1, "b": 2}
+        assert encoded_size(flat) > encoded_size({"a": 1})
+        assert encoded_size([1, 2, 3]) > encoded_size([1])
+
+    def test_nested_bytes_dominate(self):
+        payload = {"media_ref": "T:1", "data": b"\x01" * 10_000}
+        assert encoded_size(payload) > 10_000
+
+    def test_monotone_in_entries(self):
+        small = {"changes": {"a": "x"}}
+        large = {"changes": {f"c{i}": "value" for i in range(50)}}
+        assert encoded_size(large) > 10 * encoded_size(small)
+
+    def test_empty_containers(self):
+        assert encoded_size({}) == 2
+        assert encoded_size([]) == 2
+
+
+class TestMessageKinds:
+    def test_disjoint_directions(self):
+        assert not set(MessageKind.CLIENT_KINDS) & set(MessageKind.SERVER_KINDS)
+
+    def test_all_kinds_distinct(self):
+        kinds = MessageKind.CLIENT_KINDS + MessageKind.SERVER_KINDS
+        assert len(set(kinds)) == len(kinds)
+
+
+class TestSession:
+    def test_spec_tracking(self):
+        session = Session("s1", "lee", "node-1")
+        assert not session.in_room
+        session.remember_spec("doc", {"a": "x"})
+        assert session.known_spec("doc") == {"a": "x"}
+        session.forget_spec("doc")
+        assert session.known_spec("doc") is None
+
+    def test_remember_copies(self):
+        session = Session("s1", "lee", "node-1")
+        outcome = {"a": "x"}
+        session.remember_spec("doc", outcome)
+        outcome["a"] = "mutated"
+        assert session.known_spec("doc") == {"a": "x"}
