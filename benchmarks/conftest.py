@@ -4,11 +4,34 @@ Each benchmark module regenerates one of the paper's figures/claims (see
 DESIGN.md's per-experiment index). Timing goes through pytest-benchmark;
 the derived tables — the actual figure contents — are printed through
 ``report`` (bypassing capture so they appear in ``bench_output.txt``).
+
+Every benchmark module also emits an observability snapshot: a
+module-scoped fixture diffs the process metrics registry around the
+module's tests and writes the delta to ``benchmarks/metrics/<module>.json``
+— so each figure comes with the subsystem counters/histograms that
+produced it.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
+
+from repro import obs
+
+METRICS_DIR = Path(__file__).parent / "metrics"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def metrics_snapshot(request):
+    """Write the metrics delta accumulated by one benchmark module."""
+    before = obs.snapshot()
+    yield
+    delta = obs.diff(before, obs.snapshot())
+    METRICS_DIR.mkdir(exist_ok=True)
+    out = METRICS_DIR / f"{request.module.__name__}.json"
+    out.write_text(obs.to_json(delta) + "\n")
 
 
 class Reporter:

@@ -1,0 +1,114 @@
+"""Observability tax — what always-on instrumentation costs.
+
+Two claims are checked. First, the acceptance bar for the subsystem: a
+hot loop instrumented in the repo's house style (accumulate locally, one
+batch ``inc``/``observe`` per operation) against a :class:`NullRegistry`
+runs within 5% of the same loop with no instrumentation at all. Second,
+the live-registry instruments themselves are cheap enough to stay on —
+their per-call costs are measured through pytest-benchmark.
+
+Timings for the 5% assertion use min-of-N over interleaved repeats: the
+minimum discards scheduler noise, interleaving discards slow drift, so
+the ratio compares the two loops' true floors.
+"""
+
+from time import perf_counter
+
+from repro import obs
+from repro.obs import LATENCY_BUCKETS, SIZE_BUCKETS, MetricsRegistry, NullRegistry
+
+#: Synthetic per-operation workload: payload sizes of one "query result".
+PAYLOADS = [(37 * i) % 4096 for i in range(500)]
+
+
+def _scan_plain() -> int:
+    """The uninstrumented hot loop: scan payloads, total their bytes."""
+    total = 0
+    matched = 0
+    for size in PAYLOADS:
+        if size > 64:
+            total += size
+            matched += 1
+    return total
+
+
+def _make_scan_instrumented(registry):
+    """Same loop, instrumented as the repo does it: batch totals per op."""
+    rows = registry.counter("obs.bench.rows_scanned")
+    volume = registry.histogram("obs.bench.bytes", SIZE_BUCKETS)
+
+    def scan() -> int:
+        total = 0
+        matched = 0
+        for size in PAYLOADS:
+            if size > 64:
+                total += size
+                matched += 1
+        rows.inc(matched)
+        volume.observe(total)
+        return total
+
+    return scan
+
+
+def _interleaved_min_times(funcs, repeats: int = 9, calls: int = 50) -> list[float]:
+    """Best-of-*repeats* wall time of *calls* invocations, interleaved."""
+    best = [float("inf")] * len(funcs)
+    for _ in range(repeats):
+        for index, func in enumerate(funcs):
+            started = perf_counter()
+            for _ in range(calls):
+                func()
+            best[index] = min(best[index], perf_counter() - started)
+    return best
+
+
+def test_null_registry_overhead_within_5_percent(report):
+    """Acceptance bar: NullRegistry instrumentation is free to first order."""
+    instrumented = _make_scan_instrumented(NullRegistry())
+    assert instrumented() == _scan_plain()  # same arithmetic either way
+    # Warm both paths before timing.
+    _interleaved_min_times([_scan_plain, instrumented], repeats=2, calls=10)
+    plain_s, null_s = _interleaved_min_times([_scan_plain, instrumented])
+    ratio = null_s / plain_s
+    report.line(
+        f"  hot loop: plain {plain_s * 1e3:.3f} ms, "
+        f"null-instrumented {null_s * 1e3:.3f} ms, ratio {ratio:.4f}"
+    )
+    assert ratio <= 1.05, f"NullRegistry overhead {ratio:.4f} exceeds 1.05"
+
+
+def test_live_registry_cost(benchmark, report):
+    """Per-operation cost of real (recording) instruments.
+
+    Uses the process registry so this module's metrics snapshot carries
+    the counters/histograms it is about.
+    """
+    registry = obs.get_registry()
+    scan = _make_scan_instrumented(registry)
+    benchmark(scan)
+    snap = registry.snapshot()
+    report.line(
+        f"  live registry: obs.bench.rows_scanned="
+        f"{snap['counters'].get('obs.bench.rows_scanned')}"
+    )
+    assert snap["counters"]["obs.bench.rows_scanned"] > 0
+    assert snap["histograms"]["obs.bench.bytes"]["count"] > 0
+
+
+def test_counter_inc_cost(benchmark):
+    """A bare Counter.inc — the smallest always-on unit."""
+    counter = MetricsRegistry().counter("bench.inc")
+    benchmark(counter.inc)
+
+
+def test_histogram_observe_cost(benchmark):
+    """A bare Histogram.observe (bisect into the latency buckets)."""
+    histogram = MetricsRegistry().histogram("bench.observe", LATENCY_BUCKETS)
+    benchmark(histogram.observe, 0.0042)
+
+
+def test_null_instrument_cost(benchmark):
+    """The no-op path: what every call site pays when metrics are off."""
+    counter = NullRegistry().counter("bench.null")
+    benchmark(counter.inc)

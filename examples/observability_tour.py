@@ -1,0 +1,87 @@
+"""A tour of ``repro.obs`` over one traced consultation session.
+
+Runs the Section 1 scenario — retrieve the record, join the room, choose
+a presentation, let the server propagate it — with every tier's
+always-on instrumentation visible:
+
+* ``repro.obs.timeit`` times each phase CLI-style (``[timeit] ...``);
+* a :class:`Tracer` driven by the *simulated* clock produces a
+  deterministic span tree of the session (byte-identical on every run);
+* the server's own ``server.join_room`` / ``server.propagate`` spans are
+  shown from the default tracer;
+* the metrics the session moved — db scans, wire bytes, propagation
+  payloads, CP-net sweeps — are printed as a before/after diff.
+
+Run:  python examples/observability_tour.py
+"""
+
+import tempfile
+
+from repro import obs
+from repro.client import ClientModule
+from repro.db import Database, MultimediaObjectStore
+from repro.document import build_sample_medical_record
+from repro.net import Link, SimulatedNetwork
+from repro.obs import Tracer, render_span_tree, timeit, to_lines
+from repro.server import InteractionServer
+
+MBPS = 1_000_000
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as workdir:
+        before = obs.snapshot()
+
+        with timeit("db.setup"):
+            db = Database(f"{workdir}/db")
+            store = MultimediaObjectStore(db)
+            store.store_document(build_sample_medical_record())
+
+        network = SimulatedNetwork()
+        server = InteractionServer(store, network=network)
+
+        # Session-level spans run on the *simulated* clock: durations are
+        # wire time, and the tree is identical on every run.
+        session_trace = Tracer(clock=lambda: network.clock.now)
+
+        with timeit("consultation"), session_trace.span("session"):
+            with session_trace.span("retrieve"):
+                document = store.fetch_document("record-17")
+                print(f"retrieved {document.title!r}")
+
+            lee = ClientModule("lee", network=network)
+            cho = ClientModule("cho", network=network)
+            network.attach_client(lee, downlink=Link(bandwidth_bps=20 * MBPS))
+            network.attach_client(
+                cho, downlink=Link(bandwidth_bps=1.5 * MBPS, latency_s=0.04)
+            )
+
+            with session_trace.span("join_room"):
+                lee.join("record-17")
+                cho.join("record-17")
+                network.run()
+
+            with session_trace.span("choose"):
+                lee.choose("imaging.ct_head", "segmented")
+
+            with session_trace.span("propagate"):
+                network.run()
+
+        print("\n-- session span tree (simulated clock) --")
+        print(render_span_tree(session_trace.last()))
+
+        print("\n-- server-side spans (default tracer, wall clock) --")
+        for span in server._trace.roots[-3:]:
+            print(render_span_tree(span))
+
+        print("\n-- metrics moved by this session --")
+        delta = obs.diff(before, obs.snapshot())
+        for line in to_lines(delta).splitlines():
+            if line.split()[1].partition(".")[0] in ("db", "net", "server", "cpnet"):
+                print(line)
+
+        db.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -16,9 +16,11 @@ from __future__ import annotations
 import json
 import os
 from contextlib import contextmanager
+from time import perf_counter
 from typing import Any, Iterator, Mapping
 
 from repro.errors import DatabaseError, TransactionError
+from repro.obs import LATENCY_BUCKETS, get_registry
 from repro.db import journal as jrn
 from repro.db.blobstore import BlobRef, BlobStore
 from repro.db.journal import Journal
@@ -44,6 +46,14 @@ class Database:
     ) -> None:
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
+        obs = get_registry()
+        self._m_queries = obs.counter("db.queries")
+        self._m_query_latency = obs.histogram("db.query_latency_s", LATENCY_BUCKETS)
+        self._m_mutations = obs.counter("db.mutations")
+        self._m_commits = obs.counter("db.transactions.committed")
+        self._m_rollbacks = obs.counter("db.transactions.rolled_back")
+        self._m_checkpoints = obs.counter("db.checkpoints")
+        self._m_recovered = obs.counter("db.recovered_operations")
         self._tables: dict[str, Table] = {}
         self.blobs = BlobStore(os.path.join(directory, _BLOBS))
         self._load_snapshot()
@@ -123,6 +133,7 @@ class Database:
 
     def commit(self) -> None:
         self._journal.commit()
+        self._m_commits.inc()
         self._undo = None
         # Replay time is bounded by journal length; compact when it
         # outgrows the configured budget (one snapshot amortizes many
@@ -137,6 +148,7 @@ class Database:
     def rollback(self) -> None:
         """Abort: journal the rollback and undo in-memory effects (LIFO)."""
         self._journal.rollback()
+        self._m_rollbacks.inc()
         for action in reversed(self._undo or []):
             self._apply_undo(action)
         self._undo = None
@@ -200,6 +212,7 @@ class Database:
     # ----- DML --------------------------------------------------------------------
 
     def insert(self, table_name: str, row: Mapping[str, Any]) -> dict[str, Any]:
+        self._m_mutations.inc()
         table = self.table(table_name)
         with self._autocommit():
             stored = table.insert(row)
@@ -210,6 +223,7 @@ class Database:
         return stored
 
     def update(self, table_name: str, pk: Any, changes: Mapping[str, Any]) -> dict[str, Any]:
+        self._m_mutations.inc()
         table = self.table(table_name)
         with self._autocommit():
             before = table.get(pk)
@@ -230,6 +244,7 @@ class Database:
         return after
 
     def delete(self, table_name: str, pk: Any) -> dict[str, Any]:
+        self._m_mutations.inc()
         table = self.table(table_name)
         with self._autocommit():
             row = table.delete(pk)
@@ -246,10 +261,18 @@ class Database:
         return self.table(table_name).get(pk)
 
     def select(self, table_name: str, predicate: Predicate = ALL) -> list[dict[str, Any]]:
-        return self.table(table_name).select(predicate)
+        self._m_queries.inc()
+        started = perf_counter()
+        rows = self.table(table_name).select(predicate)
+        self._m_query_latency.observe(perf_counter() - started)
+        return rows
 
     def count(self, table_name: str, predicate: Predicate = ALL) -> int:
-        return self.table(table_name).count(predicate)
+        self._m_queries.inc()
+        started = perf_counter()
+        result = self.table(table_name).count(predicate)
+        self._m_query_latency.observe(perf_counter() - started)
+        return result
 
     # ----- blobs ---------------------------------------------------------------------
 
@@ -287,6 +310,7 @@ class Database:
         os.replace(tmp, os.path.join(self.directory, _SNAPSHOT))
         self._journal.truncate()
         self._journal.checkpoint()
+        self._m_checkpoints.inc()
 
     def _load_snapshot(self) -> None:
         path = os.path.join(self.directory, _SNAPSHOT)
@@ -306,6 +330,7 @@ class Database:
     def _recover(self) -> None:
         """Apply committed journal operations on top of the snapshot."""
         for record in self._journal.committed_operations():
+            self._m_recovered.inc()
             data = record.data
             if record.op == jrn.CREATE_TABLE:
                 schema = TableSchema.from_dict(data["schema"])

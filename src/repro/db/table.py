@@ -9,12 +9,13 @@ operations into it.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Mapping
+from typing import Any, Iterator, Mapping
 
 from repro.errors import DatabaseError, DuplicateKeyError, SchemaError
 from repro.db.index import Index, OrderedIndex, make_index
 from repro.db.query import ALL, Predicate
 from repro.db.schema import TableSchema
+from repro.obs import get_registry
 
 
 class Table:
@@ -25,6 +26,13 @@ class Table:
         self._rows: dict[Any, dict[str, Any]] = {}
         self._indexes: dict[str, Index] = {}
         self._next_id = 1
+        obs = get_registry()
+        self._m_rows_scanned = obs.counter("db.rows_scanned")
+        self._m_access = {
+            "pk-lookup": obs.counter("db.access.pk_lookup"),
+            "index": obs.counter("db.access.index"),
+            "full-scan": obs.counter("db.access.full_scan"),
+        }
 
     # ----- basics ----------------------------------------------------------
 
@@ -161,14 +169,12 @@ class Table:
 
     def select(self, predicate: Predicate = ALL) -> list[dict[str, Any]]:
         """Rows matching *predicate*, index-routed when a hint is available."""
-        return [dict(row) for row in self._candidate_rows(predicate) if predicate.matches(row)]
+        candidates = self._candidate_rows(predicate)
+        return [dict(row) for row in candidates if predicate.matches(row)]
 
     def select_pks(self, predicate: Predicate = ALL) -> list[Any]:
-        return [
-            row[self.pk_column]
-            for row in self._candidate_rows(predicate)
-            if predicate.matches(row)
-        ]
+        candidates = self._candidate_rows(predicate)
+        return [row[self.pk_column] for row in candidates if predicate.matches(row)]
 
     def count(self, predicate: Predicate = ALL) -> int:
         return sum(1 for row in self._candidate_rows(predicate) if predicate.matches(row))
@@ -211,15 +217,27 @@ class Table:
                 return f"index:{index.name}"
         return "full-scan"
 
-    def _candidate_rows(self, predicate: Predicate) -> Iterable[dict[str, Any]]:
-        """Pick the cheapest access path consistent with the predicate."""
+    def _candidate_rows(self, predicate: Predicate) -> list[dict[str, Any]]:
+        """Pick the cheapest access path consistent with the predicate.
+
+        Also accounts the chosen access path and the number of candidate
+        rows examined (``db.access.*`` / ``db.rows_scanned``).
+        """
         hints = predicate.equality_hints()
         pk_col = self.pk_column
         if pk_col in hints:
+            self._m_access["pk-lookup"].inc()
             row = self._rows.get(hints[pk_col])
-            return [row] if row is not None else []
-        for column, value in hints.items():
-            index = self.index_on(column)
-            if index is not None:
-                return [self._rows[pk] for pk in index.lookup(value)]
-        return self._rows.values()
+            candidates = [row] if row is not None else []
+        else:
+            for column, value in hints.items():
+                index = self.index_on(column)
+                if index is not None:
+                    self._m_access["index"].inc()
+                    candidates = [self._rows[pk] for pk in index.lookup(value)]
+                    break
+            else:
+                self._m_access["full-scan"].inc()
+                candidates = list(self._rows.values())
+        self._m_rows_scanned.inc(len(candidates))
+        return candidates

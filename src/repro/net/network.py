@@ -17,6 +17,7 @@ from repro.errors import NetworkError
 from repro.net.link import Link
 from repro.net.message import Message
 from repro.net.simclock import SimClock
+from repro.obs import LATENCY_BUCKETS, get_registry
 
 
 class Node(Protocol):
@@ -54,6 +55,13 @@ class SimulatedNetwork:
         self._downlinks: dict[str, Link] = {}  # hub -> node
         self._hub_id: str | None = None
         self.stats = NetworkStats()
+        self._obs = get_registry()
+        self._m_messages = self._obs.counter("net.messages")
+        self._m_bytes = self._obs.counter("net.bytes_total")
+        self._m_queue_delay = self._obs.histogram("net.queue_delay_s", LATENCY_BUCKETS)
+        # Per-link byte counters, created on attach: node -> Counter.
+        self._m_link_up: dict[str, Any] = {}
+        self._m_link_down: dict[str, Any] = {}
 
     # ----- topology --------------------------------------------------------------
 
@@ -76,6 +84,12 @@ class SimulatedNetwork:
         self._nodes[node.node_id] = node
         self._uplinks[node.node_id] = uplink if uplink is not None else Link()
         self._downlinks[node.node_id] = downlink if downlink is not None else Link()
+        self._m_link_up[node.node_id] = self._obs.counter(
+            f"net.link.{node.node_id}.up.bytes"
+        )
+        self._m_link_down[node.node_id] = self._obs.counter(
+            f"net.link.{node.node_id}.down.bytes"
+        )
 
     def detach_client(self, node_id: str) -> None:
         if node_id == self._hub_id:
@@ -135,8 +149,10 @@ class SimulatedNetwork:
         hub = self.hub_id
         if sender == hub and recipient != hub:
             link = self.downlink(recipient)
+            link_bytes = self._m_link_down[recipient]
         elif recipient == hub and sender != hub:
             link = self.uplink(sender)
+            link_bytes = self._m_link_up[sender]
         else:
             raise NetworkError(
                 f"only hub<->client traffic is modelled, got {sender!r}->{recipient!r}"
@@ -145,7 +161,11 @@ class SimulatedNetwork:
             sender=sender, recipient=recipient, kind=kind,
             payload=payload, size_bytes=size_bytes,
         )
+        self._m_queue_delay.observe(link.queueing_delay(self.clock.now))
         arrival = link.schedule_transfer(self.clock.now, size_bytes)
+        self._m_messages.inc()
+        self._m_bytes.inc(size_bytes)
+        link_bytes.inc(size_bytes)
         self.stats.record(message)
         target = self._nodes[recipient]
         self.clock.schedule_at(arrival, lambda: self._deliver(target, message))

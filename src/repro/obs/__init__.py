@@ -1,0 +1,94 @@
+"""``repro.obs`` — metrics, tracing and profiling for every tier.
+
+The package keeps one process-wide default :class:`MetricsRegistry`
+(always on — instruments are cheap) and one default :class:`Tracer`.
+Instrumented components resolve their handles from
+:func:`get_registry` at construction time; swap in a
+:class:`NullRegistry` via :func:`set_registry` / :func:`use_registry`
+*before* constructing components to turn observability off, or a fresh
+:class:`MetricsRegistry` to isolate a test's counts.
+
+Benchmarks never swap: they snapshot the default registry before and
+after the measured region and report :func:`diff` of the two.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.export import diff, to_json, to_lines
+from repro.obs.tracing import Span, Tracer, render_span_tree, timeit
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Span",
+    "Tracer",
+    "diff",
+    "get_registry",
+    "render_span_tree",
+    "set_registry",
+    "snapshot",
+    "timeit",
+    "to_json",
+    "to_lines",
+    "trace",
+    "use_registry",
+]
+
+_registry: MetricsRegistry | NullRegistry = MetricsRegistry()
+
+#: Process-default tracer (wall clock). Components trace through this
+#: unless handed their own Tracer.
+trace = Tracer()
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The process-default registry instrumented code resolves handles from."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry | NullRegistry) -> MetricsRegistry | NullRegistry:
+    """Replace the default registry; returns it.
+
+    Components cache instrument handles at construction, so swap before
+    building whatever you want measured (or silenced).
+    """
+    global _registry
+    _registry = registry
+    return registry
+
+
+@contextmanager
+def use_registry(
+    registry: MetricsRegistry | NullRegistry,
+) -> Iterator[MetricsRegistry | NullRegistry]:
+    """Temporarily install *registry* as the default (test isolation)."""
+    previous = get_registry()
+    set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def snapshot() -> dict:
+    """Snapshot of the default registry."""
+    return _registry.snapshot()

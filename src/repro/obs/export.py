@@ -1,0 +1,109 @@
+"""Exporters over registry snapshots: JSON, flat lines, and diffs.
+
+A *snapshot* is the plain-dict form returned by
+``MetricsRegistry.snapshot()``::
+
+    {"counters": {name: value},
+     "gauges": {name: value},
+     "histograms": {name: {count, total, mean, min, max, p50, p90, p99,
+                           bounds, bucket_counts}}}
+
+Everything here is deterministic: keys are emitted sorted and JSON is
+rendered with fixed separators, so identical metric states produce
+byte-identical output (the property benchmark diffs rely on).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+Snapshot = dict[str, Any]
+
+
+def to_json(snapshot: Snapshot, indent: int | None = 2) -> str:
+    """Canonical JSON rendering of a snapshot (sorted keys)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True, separators=(",", ": "))
+
+
+def to_lines(snapshot: Snapshot) -> str:
+    """Flat one-instrument-per-line dump (grep-friendly)."""
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        lines.append(f"counter {name} {value}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        lines.append(f"gauge {name} {value}")
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        if not summary or not summary.get("count"):
+            lines.append(f"histogram {name} count=0")
+            continue
+        mean = summary["mean"]
+        lines.append(
+            f"histogram {name} count={summary['count']} total={summary['total']:.9g} "
+            f"mean={mean:.9g} min={summary['min']:.9g} max={summary['max']:.9g} "
+            f"p50={summary['p50']:.9g} p90={summary['p90']:.9g} p99={summary['p99']:.9g}"
+        )
+    return "\n".join(lines)
+
+
+def _diff_histogram(before: dict[str, Any], after: dict[str, Any]) -> dict[str, Any]:
+    """Bucket-wise subtraction; percentiles recomputed over the delta."""
+    bounds = after.get("bounds", [])
+    after_buckets = after.get("bucket_counts", [])
+    before_buckets = before.get("bucket_counts", [0] * len(after_buckets))
+    delta_buckets = [a - b for a, b in zip(after_buckets, before_buckets)]
+    count = after.get("count", 0) - before.get("count", 0)
+    total = after.get("total", 0.0) - before.get("total", 0.0)
+
+    def percentile(fraction: float) -> float | None:
+        if count <= 0:
+            return None
+        rank = max(1, int(fraction * count + 0.999999))
+        cumulative = 0
+        for index, bucket_count in enumerate(delta_buckets):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                return bounds[index] if index < len(bounds) else after.get("max")
+        return after.get("max")
+
+    return {
+        "count": count,
+        "total": total,
+        "mean": (total / count) if count > 0 else None,
+        # Exact extremes of the interval are unrecoverable from buckets;
+        # report the cumulative ones (None when nothing new arrived).
+        "min": after.get("min") if count > 0 else None,
+        "max": after.get("max") if count > 0 else None,
+        "p50": percentile(0.50),
+        "p90": percentile(0.90),
+        "p99": percentile(0.99),
+        "bounds": list(bounds),
+        "bucket_counts": delta_buckets,
+    }
+
+
+def diff(before: Snapshot, after: Snapshot) -> Snapshot:
+    """What happened between two snapshots of the *same* registry.
+
+    Counters and histograms subtract; gauges report their ``after``
+    value (a level, not a rate). Instruments that never moved are
+    omitted, so a benchmark's diff contains exactly the activity of the
+    benchmarked region.
+    """
+    counters_before = before.get("counters", {})
+    counters: dict[str, Any] = {}
+    for name, value in after.get("counters", {}).items():
+        delta = value - counters_before.get(name, 0)
+        if delta:
+            counters[name] = delta
+    gauges = {
+        name: value
+        for name, value in after.get("gauges", {}).items()
+        if value != before.get("gauges", {}).get(name, 0)
+    }
+    histograms_before = before.get("histograms", {})
+    histograms: dict[str, Any] = {}
+    for name, summary in after.get("histograms", {}).items():
+        if summary.get("count", 0) != histograms_before.get(name, {}).get("count", 0):
+            histograms[name] = _diff_histogram(histograms_before.get(name, {}), summary)
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}

@@ -1,0 +1,263 @@
+"""Counters, gauges and fixed-bucket histograms.
+
+The registry is designed to be *always on*: instruments are plain
+objects with ``__slots__`` whose hot methods do one attribute update
+(counters/gauges) or one bisect (histograms). Call sites resolve their
+instrument handles once — typically in ``__init__`` — and increment by
+batch totals (``rows_scanned.inc(len(candidates))``) rather than per
+element, so the cost per *operation* is a handful of nanoseconds.
+
+When observability must be off entirely, install a
+:class:`NullRegistry`: it hands out shared no-op instruments, so an
+instrumented call site degenerates to one attribute lookup plus a no-op
+call.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Mapping, Sequence
+
+#: Default bucket bounds for latency histograms (seconds, 1 µs → 30 s).
+LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+    1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0, 30.0,
+)
+
+#: Default bucket bounds for byte-size histograms (64 B → 256 MB).
+SIZE_BUCKETS: tuple[float, ...] = tuple(float(64 * 4**i) for i in range(12))
+
+#: Default bucket bounds for count-valued histograms (1 → 1M).
+COUNT_BUCKETS: tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+    1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A value that goes up and down (occupancy, depth, live bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with p50/p90/p99 summaries.
+
+    ``bounds`` are the inclusive upper edges of the buckets; one overflow
+    bucket catches everything above the last bound. Percentiles are
+    estimated as the upper edge of the bucket containing the rank (the
+    overflow bucket reports the observed maximum), which is deterministic
+    and honest about bucket resolution.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = LATENCY_BUCKETS) -> None:
+        if list(bounds) != sorted(bounds) or not bounds:
+            raise ValueError(f"histogram bounds must be sorted and non-empty: {bounds!r}")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: int | float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def percentile(self, fraction: float) -> float | None:
+        """Estimated value at *fraction* (0 < fraction <= 1) of the data."""
+        if self.count == 0:
+            return None
+        rank = max(1, int(fraction * self.count + 0.999999))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max
+        return self.max  # pragma: no cover - defensive
+
+    def summary(self) -> dict[str, Any]:
+        """Deterministic serializable summary (used by the exporters)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": (self.total / self.count) if self.count else None,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """Name-keyed store of instruments; get-or-create semantics."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ----- instruments -----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, bounds: Sequence[float] = LATENCY_BUCKETS) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    # ----- introspection ---------------------------------------------------------
+
+    @property
+    def counters(self) -> Mapping[str, Counter]:
+        return self._counters
+
+    @property
+    def gauges(self) -> Mapping[str, Gauge]:
+        return self._gauges
+
+    @property
+    def histograms(self) -> Mapping[str, Histogram]:
+        return self._histograms
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time copy of every instrument (sorted, serializable)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.summary() for n, h in sorted(self._histograms.items())},
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (handles held by call sites go stale)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def dec(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+    def percentile(self, fraction: float) -> None:
+        return None
+
+    def summary(self) -> dict[str, Any]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Observability off: every instrument is the shared no-op object."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds: Sequence[float] = LATENCY_BUCKETS) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    @property
+    def counters(self) -> Mapping[str, Counter]:
+        return {}
+
+    @property
+    def gauges(self) -> Mapping[str, Gauge]:
+        return {}
+
+    @property
+    def histograms(self) -> Mapping[str, Histogram]:
+        return {}
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        pass

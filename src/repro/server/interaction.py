@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import RoomError, ServerError
+from repro import obs
 from repro.db.orm import MultimediaObjectStore
 from repro.document.document import MultimediaDocument
 from repro.net.message import Message
@@ -58,6 +59,21 @@ class InteractionServer:
         self._sessions: dict[str, Session] = {}
         self._rooms: dict[str, Room] = {}
         self._rooms_by_doc: dict[str, str] = {}
+        registry = obs.get_registry()
+        self._trace = obs.trace
+        self._m_messages_in = registry.counter("server.messages_in")
+        self._m_messages_out = registry.counter("server.messages_out")
+        self._m_bytes_out = registry.counter("server.bytes_out")
+        self._m_choices = registry.counter("server.choices")
+        self._m_prop_updates = registry.counter("server.propagation.updates")
+        self._m_prop_diff_bytes = registry.counter("server.propagation.diff_bytes")
+        self._m_prop_full_bytes = registry.counter("server.propagation.full_bytes")
+        self._m_prop_fanout = registry.histogram(
+            "server.propagation.fanout", obs.COUNT_BUCKETS
+        )
+        self._g_sessions = registry.gauge("server.sessions_connected")
+        self._g_rooms = registry.gauge("server.rooms_open")
+        self._g_occupancy = registry.gauge("server.room_occupancy")
         from repro.server.triggers import TriggerManager
 
         self.triggers = TriggerManager()
@@ -73,15 +89,19 @@ class InteractionServer:
             node_id=node_id if node_id is not None else viewer_id,
         )
         self._sessions[session.session_id] = session
+        self._g_sessions.set(len(self._sessions))
         return session
 
     def disconnect_session(self, session_id: str) -> None:
         session = self._session(session_id)
-        if session.in_room:
-            self.leave_room(session_id)
+        # Persist the viewer profile before leaving: room exit may close
+        # the room and fire observers that expect the profile on disk.
         if self.use_profiles and session.viewer_id in self._profiles:
             self.store.save_profile(self._profiles[session.viewer_id])
+        if session.in_room:
+            self.leave_room(session_id)
         del self._sessions[session_id]
+        self._g_sessions.set(len(self._sessions))
 
     def _session(self, session_id: str) -> Session:
         try:
@@ -113,6 +133,7 @@ class InteractionServer:
         room = Room(self._ids.next("room"), document)
         self._rooms[room.room_id] = room
         self._rooms_by_doc[doc_id] = room.room_id
+        self._g_rooms.set(len(self._rooms))
         return room
 
     def join_room(self, session_id: str, doc_id: str) -> tuple[Room, PresentationSpec]:
@@ -121,22 +142,26 @@ class InteractionServer:
         self.policy.require(session.viewer_id, PERM_VIEW)
         if session.in_room:
             raise RoomError(f"session {session_id!r} is already in {session.room_id!r}")
-        room = self.open_room(doc_id)
-        room.join(session_id, session.viewer_id)
-        session.room_id = room.room_id
-        if self.use_profiles:
-            profile = self._profile_of(session.viewer_id)
-            # Replay stable habits as personal evidence: the frequent
-            # viewer's usual presentation greets them on join (§4's
-            # optional long-term learning).
-            from repro.presentation.engine import PERSONAL, ViewerChoice
+        with self._trace.span("server.join_room"):
+            room = self.open_room(doc_id)
+            room.join(session_id, session.viewer_id)
+            session.room_id = room.room_id
+            self._g_occupancy.set(
+                sum(len(r.member_sessions) for r in self._rooms.values())
+            )
+            if self.use_profiles:
+                profile = self._profile_of(session.viewer_id)
+                # Replay stable habits as personal evidence: the frequent
+                # viewer's usual presentation greets them on join (§4's
+                # optional long-term learning).
+                from repro.presentation.engine import PERSONAL, ViewerChoice
 
-            for component, value in profile.habits_for(room.document).items():
-                room.engine.apply_choice(
-                    ViewerChoice(session.viewer_id, component, value, scope=PERSONAL)
-                )
-        spec = room.presentation_for(session.viewer_id, now=self._now())
-        session.remember_spec(doc_id, spec.outcome)
+                for component, value in profile.habits_for(room.document).items():
+                    room.engine.apply_choice(
+                        ViewerChoice(session.viewer_id, component, value, scope=PERSONAL)
+                    )
+            spec = room.presentation_for(session.viewer_id, now=self._now())
+            session.remember_spec(doc_id, spec.outcome)
         return room, spec
 
     def _profile_of(self, viewer_id: str):
@@ -165,6 +190,8 @@ class InteractionServer:
                     )
             del self._rooms[room.room_id]
             del self._rooms_by_doc[room.document.doc_id]
+            self._g_rooms.set(len(self._rooms))
+        self._g_occupancy.set(sum(len(r.member_sessions) for r in self._rooms.values()))
 
     # ----- cooperative actions -------------------------------------------------------------
 
@@ -178,6 +205,7 @@ class InteractionServer:
         """
         session, room = self._session_room(session_id)
         self.policy.require(session.viewer_id, PERM_CHOOSE)
+        self._m_choices.inc()
         change = room.apply_choice(session.viewer_id, component, value, scope)
         if self.use_profiles:
             self._profile_of(session.viewer_id).record_choice(component, value)
@@ -228,10 +256,9 @@ class InteractionServer:
         self.policy.require(session.viewer_id, PERM_VIEW)
         _, payload = self.store.fetch(media_ref)
         if self.network is not None:
-            self.network.send(
-                self.node_id, session.node_id, MessageKind.PAYLOAD,
-                payload={"media_ref": media_ref, "data": payload},
-                size_bytes=encoded_size({"media_ref": media_ref, "data": payload}),
+            self._net_send(
+                session.node_id, MessageKind.PAYLOAD,
+                {"media_ref": media_ref, "data": payload},
             )
         return payload
 
@@ -250,9 +277,9 @@ class InteractionServer:
         size = node.presentation_size(value)
         if self.network is not None:
             body = {"component": component, "value": value, "size": size}
-            self.network.send(
-                self.node_id, session.node_id, MessageKind.PAYLOAD,
-                payload=body, size_bytes=max(size, encoded_size(body)),
+            self._net_send(
+                session.node_id, MessageKind.PAYLOAD,
+                body, size_bytes=max(size, encoded_size(body)),
             )
         return size
 
@@ -287,10 +314,7 @@ class InteractionServer:
                 "factor": factor,
                 "data": region_bytes,
             }
-            self.network.send(
-                self.node_id, session.node_id, MessageKind.PAYLOAD,
-                payload=body, size_bytes=encoded_size(body),
-            )
+            self._net_send(session.node_id, MessageKind.PAYLOAD, body)
         return region_bytes
 
     def _session_room(self, session_id: str) -> tuple[Session, Room]:
@@ -303,39 +327,40 @@ class InteractionServer:
 
     def _propagate(self, room: Room, change: Any) -> dict[str, dict[str, str]]:
         """Recompute every member's presentation and ship what changed."""
-        doc_id = room.document.doc_id
-        updates: dict[str, dict[str, str]] = {}
-        for member_id in room.member_sessions:
-            member = self._session(member_id)
-            spec = room.presentation_for(member.viewer_id, now=self._now())
-            if self.diff_propagation:
-                delta = diff_presentations(member.known_spec(doc_id), spec.outcome)
-            else:
-                delta = dict(spec.outcome)
-            if not delta:
-                continue
-            updates[member_id] = delta
-            member.remember_spec(doc_id, spec.outcome)
-            if self.network is not None:
-                body = {"doc_id": doc_id, "changes": delta, "seq": change.seq}
-                self.network.send(
-                    self.node_id, member.node_id, MessageKind.PRESENTATION_UPDATE,
-                    payload=body, size_bytes=encoded_size(body),
-                )
-        if self.network is not None:
-            event_body = {
-                "doc_id": doc_id, "seq": change.seq,
-                "viewer": change.viewer_id, "kind": change.kind, "data": change.data,
-            }
+        with self._trace.span("server.propagate"):
+            doc_id = room.document.doc_id
+            updates: dict[str, dict[str, str]] = {}
             for member_id in room.member_sessions:
                 member = self._session(member_id)
-                if member.viewer_id == change.viewer_id:
+                spec = room.presentation_for(member.viewer_id, now=self._now())
+                if self.diff_propagation:
+                    delta = diff_presentations(member.known_spec(doc_id), spec.outcome)
+                else:
+                    delta = dict(spec.outcome)
+                if not delta:
                     continue
-                self.network.send(
-                    self.node_id, member.node_id, MessageKind.PEER_EVENT,
-                    payload=event_body, size_bytes=encoded_size(event_body),
-                )
-        self.triggers.dispatch(room, change)
+                updates[member_id] = delta
+                member.remember_spec(doc_id, spec.outcome)
+                # Diff-vs-full accounting: what this update costs on the
+                # wire against what a whole-outcome resend would cost.
+                self._m_prop_diff_bytes.inc(encoded_size(delta))
+                self._m_prop_full_bytes.inc(encoded_size(dict(spec.outcome)))
+                if self.network is not None:
+                    body = {"doc_id": doc_id, "changes": delta, "seq": change.seq}
+                    self._net_send(member.node_id, MessageKind.PRESENTATION_UPDATE, body)
+            self._m_prop_updates.inc(len(updates))
+            self._m_prop_fanout.observe(len(updates))
+            if self.network is not None:
+                event_body = {
+                    "doc_id": doc_id, "seq": change.seq,
+                    "viewer": change.viewer_id, "kind": change.kind, "data": change.data,
+                }
+                for member_id in room.member_sessions:
+                    member = self._session(member_id)
+                    if member.viewer_id == change.viewer_id:
+                        continue
+                    self._net_send(member.node_id, MessageKind.PEER_EVENT, event_body)
+            self.triggers.dispatch(room, change)
         return updates
 
     def broadcast(
@@ -354,11 +379,20 @@ class InteractionServer:
             targets = list(self._sessions.values())
         if self.network is not None:
             for session in targets:
-                self.network.send(
-                    self.node_id, session.node_id, MessageKind.BROADCAST,
-                    payload=payload, size_bytes=encoded_size(payload),
-                )
+                self._net_send(session.node_id, MessageKind.BROADCAST, payload)
         return len(targets)
+
+    def _net_send(
+        self, recipient: str, kind: str, body: Any, size_bytes: int | None = None
+    ) -> None:
+        """One hub->client send, with outbound message/byte accounting."""
+        if size_bytes is None:
+            size_bytes = encoded_size(body)
+        self._m_messages_out.inc()
+        self._m_bytes_out.inc(size_bytes)
+        self.network.send(
+            self.node_id, recipient, kind, payload=body, size_bytes=size_bytes
+        )
 
     def _now(self) -> float:
         return self.network.clock.now if self.network is not None else 0.0
@@ -385,16 +419,14 @@ class InteractionServer:
 
     def receive(self, message: Message) -> None:
         """Dispatch one protocol message from a client node."""
+        self._m_messages_in.inc()
         payload = message.payload or {}
         try:
             self._dispatch(message.sender, message.kind, payload)
         except Exception as exc:  # protocol errors go back to the client
             if self.network is not None:
                 body = {"error": type(exc).__name__, "detail": str(exc)}
-                self.network.send(
-                    self.node_id, message.sender, MessageKind.ERROR,
-                    payload=body, size_bytes=encoded_size(body),
-                )
+                self._net_send(message.sender, MessageKind.ERROR, body)
             else:
                 raise
 
@@ -417,10 +449,7 @@ class InteractionServer:
                 ],
             }
             if self.network is not None:
-                self.network.send(
-                    self.node_id, sender_node, MessageKind.JOIN_ACK,
-                    payload=body, size_bytes=encoded_size(body),
-                )
+                self._net_send(sender_node, MessageKind.JOIN_ACK, body)
             return
         session_id = payload["session_id"]
         if kind == MessageKind.LEAVE:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import FrozenObjectError, RoomError
+from repro.obs import get_registry
 from repro.cpnet.updates import OperationVariable
 from repro.document.document import MultimediaDocument
 from repro.presentation.engine import PresentationEngine, ViewerChoice
@@ -45,6 +46,9 @@ class Room:
         self._next_seq = 1
         self._ack: dict[str, int] = {}      # session_id -> highest seq seen
         self.annotations: dict[str, list[dict[str, Any]]] = {}
+        obs = get_registry()
+        self._m_changes = obs.counter("server.room.changes")
+        self._g_buffer_depth = obs.gauge("server.room.buffer_depth")
 
     # ----- membership -----------------------------------------------------------
 
@@ -186,6 +190,8 @@ class Room:
         change = RoomChange(seq=self._next_seq, viewer_id=viewer_id, kind=kind, data=data)
         self._next_seq += 1
         self._changes.append(change)
+        self._m_changes.inc()
+        self._g_buffer_depth.set(len(self._changes))
         return change
 
     def changes_since(self, seq: int) -> list[RoomChange]:
@@ -201,9 +207,11 @@ class Room:
         """Discard changes every remaining member has acknowledged."""
         if not self._ack:
             self._changes.clear()
+            self._g_buffer_depth.set(0)
             return
         low_water = min(self._ack.values())
         self._changes = [c for c in self._changes if c.seq > low_water]
+        self._g_buffer_depth.set(len(self._changes))
 
     @property
     def buffer_size(self) -> int:

@@ -1,7 +1,11 @@
 """Unit tests for the write-ahead journal."""
 
+import os
+import shutil
+
 import pytest
 
+from repro.db import Column, Database, INTEGER, TEXT, TableSchema
 from repro.db.journal import (
     BEGIN,
     COMMIT,
@@ -129,3 +133,77 @@ class TestRecovery:
         journal.commit()
         ops = [record.op for record in journal.replay()]
         assert ops == [BEGIN, COMMIT]
+
+
+def _names(db: Database) -> list[str]:
+    return sorted(row["name"] for row in db.select("cases"))
+
+
+class TestCrashRecoveryAtByteOffsets:
+    """A crash anywhere inside a commit must recover the pre-commit state.
+
+    The sweep truncates the on-disk journal at several byte offsets
+    strictly inside the final transaction's records and reopens the
+    database each time: every cut point must recover exactly the
+    baseline rows (the last durable snapshot), never a partial
+    transaction — and the untruncated journal must recover everything.
+    """
+
+    SCHEMA = TableSchema(
+        "cases",
+        (
+            Column("id", INTEGER, primary_key=True, autoincrement=True),
+            Column("name", TEXT, nullable=False),
+        ),
+    )
+
+    def _build(self, directory: str) -> tuple[int, int]:
+        """Baseline rows, then one committed txn; returns (L0, L1) sizes."""
+        journal_path = os.path.join(directory, "journal.log")
+        db = Database(directory, checkpoint_journal_bytes=None)
+        db.create_table(self.SCHEMA)
+        for name in ("alpha", "beta", "gamma"):
+            db.insert("cases", {"name": name})
+        db.close()
+        baseline_bytes = os.path.getsize(journal_path)
+        db = Database(directory, checkpoint_journal_bytes=None)
+        db.begin()
+        for name in ("delta", "epsilon", "zeta"):
+            db.insert("cases", {"name": name})
+        db.commit()
+        db.close()
+        final_bytes = os.path.getsize(journal_path)
+        assert final_bytes > baseline_bytes
+        return baseline_bytes, final_bytes
+
+    def test_truncation_sweep_recovers_pre_commit_snapshot(self, tmp_path):
+        source = str(tmp_path / "db")
+        baseline_bytes, final_bytes = self._build(source)
+        span = final_bytes - baseline_bytes
+        offsets = sorted(
+            {
+                baseline_bytes,          # the whole txn lost
+                baseline_bytes + 1,      # torn first record
+                baseline_bytes + span // 4,
+                baseline_bytes + span // 2,
+                baseline_bytes + 3 * span // 4,
+                # Cutting only the final newline leaves the COMMIT record
+                # complete (and durable); cut into its CRC instead.
+                final_bytes - 2,
+            }
+        )
+        for offset in offsets:
+            crashed = str(tmp_path / f"crash_{offset}")
+            shutil.copytree(source, crashed)
+            with open(os.path.join(crashed, "journal.log"), "r+b") as file:
+                file.truncate(offset)
+            db = Database(crashed, checkpoint_journal_bytes=None)
+            assert _names(db) == ["alpha", "beta", "gamma"], f"offset {offset}"
+            db.close()
+
+    def test_untruncated_journal_recovers_everything(self, tmp_path):
+        source = str(tmp_path / "db")
+        self._build(source)
+        db = Database(source, checkpoint_journal_bytes=None)
+        assert _names(db) == ["alpha", "beta", "delta", "epsilon", "gamma", "zeta"]
+        db.close()

@@ -5,6 +5,7 @@ import pytest
 from repro.errors import NetworkError
 from repro.net import Link, Message, SimulatedNetwork
 from repro.net.link import MBPS
+from repro.obs import MetricsRegistry, use_registry
 
 
 class Recorder:
@@ -151,3 +152,78 @@ class TestStats:
         net.reset_stats()
         assert net.stats.messages == 0
         assert net.downlink("c1").bytes_carried == 0
+
+
+class TestHonestWireSizes:
+    """Per-link byte counters must equal the real encoded payload bytes.
+
+    A three-client consultation runs over the full stack; every message a
+    client receives or sends is re-measured with ``encoded_size`` and the
+    totals are checked against the ``net.link.<node>.{down,up}.bytes``
+    counters — no message may be charged a made-up size.
+    """
+
+    def test_three_client_room_link_counters_match_encoded_sizes(self, tmp_path):
+        from repro.client import ClientModule
+        from repro.db import Database, MultimediaObjectStore
+        from repro.document import build_sample_medical_record
+        from repro.server import InteractionServer
+        from repro.server.protocol import encoded_size
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            db = Database(str(tmp_path / "db"))
+            store = MultimediaObjectStore(db)
+            store.store_document(build_sample_medical_record())
+            network = SimulatedNetwork()
+            server = InteractionServer(store, network=network)
+            clients = []
+            for index in range(3):
+                client = ClientModule(f"dr-{index}", network=network,
+                                      auto_fetch=False)
+                network.attach_client(client, uplink=Link(), downlink=Link())
+                clients.append(client)
+        try:
+            delivered: dict[str, list[Message]] = {c.node_id: [] for c in clients}
+            sent: dict[str, list[Message]] = {c.node_id: [] for c in clients}
+            for client in clients:
+                original = client.receive
+                client.receive = (lambda message, orig=original,
+                                  log=delivered[client.node_id]:
+                                  (log.append(message), orig(message))[1])
+            original_server_receive = server.receive
+            def hub_receive(message):
+                sent[message.sender].append(message)
+                return original_server_receive(message)
+            server.receive = hub_receive
+
+            for client in clients:
+                client.join("record-17")
+            network.run()
+            clients[0].choose("imaging.ct_head", "segmented")
+            network.run()
+            clients[1].choose("labs", "hidden")
+            network.run()
+
+            counters = registry.snapshot()["counters"]
+            for client in clients:
+                down = delivered[client.node_id]
+                up = sent[client.node_id]
+                assert down and up  # the session actually produced traffic
+                # Every wire size is the canonical encoding of its payload.
+                for message in down + up:
+                    assert message.size_bytes == encoded_size(message.payload)
+                assert counters[f"net.link.{client.node_id}.down.bytes"] == sum(
+                    m.size_bytes for m in down
+                )
+                assert counters[f"net.link.{client.node_id}.up.bytes"] == sum(
+                    m.size_bytes for m in up
+                )
+            total = counters["net.bytes_total"]
+            assert total == sum(
+                m.size_bytes
+                for log in (*delivered.values(), *sent.values())
+                for m in log
+            )
+        finally:
+            db.close()

@@ -1,0 +1,93 @@
+"""Exporters: JSON, line format, and snapshot diffing."""
+
+import json
+
+from repro.obs import MetricsRegistry, diff, to_json, to_lines
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("db.rows_scanned").inc(100)
+    registry.gauge("server.room_occupancy").set(3)
+    histogram = registry.histogram("db.query_latency_s", bounds=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.005, 0.05):
+        histogram.observe(value)
+    return registry
+
+
+class TestJson:
+    def test_round_trips_and_sorts_keys(self):
+        rendered = to_json(_registry().snapshot())
+        parsed = json.loads(rendered)
+        assert parsed["counters"]["db.rows_scanned"] == 100
+        assert list(parsed) == ["counters", "gauges", "histograms"]
+
+    def test_identical_state_is_byte_identical(self):
+        assert to_json(_registry().snapshot()) == to_json(_registry().snapshot())
+
+
+class TestLines:
+    def test_flat_format(self):
+        lines = to_lines(_registry().snapshot()).splitlines()
+        assert "counter db.rows_scanned 100" in lines
+        assert "gauge server.room_occupancy 3" in lines
+        histogram_lines = [l for l in lines if l.startswith("histogram")]
+        assert len(histogram_lines) == 1
+        assert "count=3" in histogram_lines[0]
+        assert "p50=0.01" in histogram_lines[0]
+
+    def test_empty_histogram_renders_count_zero(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        assert to_lines(registry.snapshot()) == "histogram h count=0"
+
+
+class TestDiff:
+    def test_counters_subtract_and_unmoved_are_omitted(self):
+        registry = _registry()
+        before = registry.snapshot()
+        registry.counter("db.rows_scanned").inc(20)
+        registry.counter("db.queries").inc(1)
+        delta = diff(before, registry.snapshot())
+        assert delta["counters"] == {"db.queries": 1, "db.rows_scanned": 20}
+
+    def test_gauges_report_after_value_only_when_changed(self):
+        registry = _registry()
+        before = registry.snapshot()
+        registry.gauge("server.room_occupancy").set(5)
+        registry.gauge("untouched").set(0)
+        delta = diff(before, registry.snapshot())
+        assert delta["gauges"] == {"server.room_occupancy": 5}
+
+    def test_histograms_subtract_bucketwise(self):
+        registry = _registry()
+        before = registry.snapshot()
+        histogram = registry.histogram("db.query_latency_s")
+        for _ in range(10):
+            histogram.observe(0.005)
+        delta = diff(before, registry.snapshot())
+        summary = delta["histograms"]["db.query_latency_s"]
+        assert summary["count"] == 10
+        assert summary["bucket_counts"] == [0, 10, 0, 0]
+        # Every new observation fell in the <=0.01 bucket.
+        assert summary["p50"] == 0.01
+        assert summary["p99"] == 0.01
+        assert abs(summary["total"] - 0.05) < 1e-12
+
+    def test_no_activity_diffs_to_empty(self):
+        registry = _registry()
+        snapshot = registry.snapshot()
+        assert diff(snapshot, registry.snapshot()) == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_instrument_created_after_before_snapshot(self):
+        registry = MetricsRegistry()
+        before = registry.snapshot()
+        registry.counter("fresh").inc(7)
+        registry.histogram("fresh_h", bounds=(1.0,)).observe(0.5)
+        delta = diff(before, registry.snapshot())
+        assert delta["counters"] == {"fresh": 7}
+        assert delta["histograms"]["fresh_h"]["count"] == 1

@@ -1,0 +1,116 @@
+"""Span trees, the context-local stack, and deterministic clocks."""
+
+import json
+
+from repro.net.simclock import SimClock
+from repro.obs import MetricsRegistry, Tracer, render_span_tree, timeit
+from repro.obs.tracing import Span
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child_a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child_b"):
+                pass
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+        assert tracer.last() is root
+
+    def test_current_tracks_innermost_open_span(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_roots_are_bounded(self):
+        tracer = Tracer(max_roots=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [s.name for s in tracer.roots] == ["s2", "s3", "s4"]
+        tracer.clear()
+        assert tracer.roots == ()
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        span = tracer.last()
+        assert span is not None and span.end is not None
+
+    def test_registry_records_span_durations(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        with tracer.span("server.propagate"):
+            pass
+        assert registry.histogram("trace.server.propagate").count == 1
+
+
+class TestDeterministicClock:
+    def _run_session(self) -> Span:
+        """One simclock-driven trace; identical every time by construction."""
+        clock = SimClock()
+        tracer = Tracer(clock=lambda: clock.now)
+        with tracer.span("session"):
+            clock.run_until(0.25)
+            with tracer.span("server.join_room"):
+                clock.run_until(1.0)
+            with tracer.span("server.propagate"):
+                clock.run_until(3.5)
+        span = tracer.last()
+        assert span is not None
+        return span
+
+    def test_simclock_drives_span_times(self):
+        span = self._run_session()
+        assert span.start == 0.0 and span.end == 3.5
+        join, propagate = span.children
+        assert (join.start, join.end) == (0.25, 1.0)
+        assert (propagate.start, propagate.end) == (1.0, 3.5)
+
+    def test_exports_are_byte_identical_across_runs(self):
+        first, second = self._run_session(), self._run_session()
+        assert render_span_tree(first) == render_span_tree(second)
+        dumps = [
+            json.dumps(s.to_dict(), sort_keys=True, separators=(",", ": "))
+            for s in (first, second)
+        ]
+        assert dumps[0].encode() == dumps[1].encode()
+
+    def test_render_shows_hierarchy_and_durations(self):
+        rendered = render_span_tree(self._run_session())
+        lines = rendered.splitlines()
+        assert lines[0].startswith("session  3500.000 ms")
+        assert lines[1].startswith("  server.join_room  750.000 ms")
+        assert lines[2].startswith("  server.propagate  2500.000 ms")
+
+
+class TestTimeit:
+    def test_timeit_prints_and_traces(self):
+        clock = SimClock()
+        tracer = Tracer(clock=lambda: clock.now)
+        printed = []
+        with timeit("retrieve", tracer=tracer, printer=printed.append):
+            clock.run_until(0.002)
+        assert printed == ["[timeit] retrieve: 2.000 ms"]
+        assert tracer.last().name == "retrieve"
+
+    def test_timeit_defaults_to_package_tracer(self):
+        from repro import obs
+
+        printed = []
+        with timeit("quick", printer=printed.append):
+            pass
+        assert printed and printed[0].startswith("[timeit] quick: ")
+        assert obs.trace.last() is not None

@@ -40,6 +40,34 @@ class TestSessions:
         server.disconnect_session(session.session_id)
         assert server.room_ids == ()
 
+    def test_disconnect_saves_profile_before_leaving_room(self, store):
+        """Regression: the viewer profile must hit the store *before* the
+        room exit — leaving may close the room and persist the document,
+        and anything observing that close expects the profile on disk."""
+        server = InteractionServer(store, use_profiles=True)
+        session = server.connect_session("lee")
+        server.join_room(session.session_id, "record-17")
+        server.handle_choice(session.session_id, "imaging.ct_head", "segmented")
+
+        calls = []
+        real_save_profile = store.save_profile
+        real_store_document = store.store_document
+        store.save_profile = lambda profile: (
+            calls.append("save_profile"), real_save_profile(profile))[1]
+        store.store_document = lambda document: (
+            calls.append("store_document"), real_store_document(document))[1]
+        try:
+            server.disconnect_session(session.session_id)
+        finally:
+            store.save_profile = real_save_profile
+            store.store_document = real_store_document
+
+        assert "save_profile" in calls
+        assert calls.index("save_profile") < calls.index("store_document")
+        # And the saved profile carries the session's choice.
+        reloaded = store.load_profile("lee")
+        assert reloaded.observations("imaging.ct_head") == 1
+
 
 class TestRooms:
     def test_join_creates_room_and_spec(self, server):
