@@ -33,8 +33,15 @@ def _scan_plain() -> int:
 
 
 def _make_scan_instrumented(registry):
-    """Same loop, instrumented as the repo does it: batch totals per op."""
+    """Same loop, instrumented as the repo does it: batch totals per op.
+
+    Includes a labelled family child — like the call sites, the child is
+    resolved once up front, so per-op cost is identical to a flat counter.
+    """
     rows = registry.counter("obs.bench.rows_scanned")
+    rows_by_table = registry.counter_family(
+        "obs.bench.rows_scanned_by_table", ("table",)
+    ).labels("payloads")
     volume = registry.histogram("obs.bench.bytes", SIZE_BUCKETS)
 
     def scan() -> int:
@@ -45,6 +52,7 @@ def _make_scan_instrumented(registry):
                 total += size
                 matched += 1
         rows.inc(matched)
+        rows_by_table.inc(matched)
         volume.observe(total)
         return total
 
@@ -106,6 +114,19 @@ def test_histogram_observe_cost(benchmark):
     """A bare Histogram.observe (bisect into the latency buckets)."""
     histogram = MetricsRegistry().histogram("bench.observe", LATENCY_BUCKETS)
     benchmark(histogram.observe, 0.0042)
+
+
+def test_family_child_inc_cost(benchmark):
+    """A labelled family child resolved once — same unit as Counter.inc."""
+    child = MetricsRegistry().counter_family("bench.fam", ("k",)).labels("v")
+    benchmark(child.inc)
+
+
+def test_family_labels_lookup_cost(benchmark):
+    """Resolving a known child via ``labels()`` — the cost of NOT hoisting."""
+    family = MetricsRegistry().counter_family("bench.lookup", ("k",))
+    family.labels("v")
+    benchmark(family.labels, "v")
 
 
 def test_null_instrument_cost(benchmark):

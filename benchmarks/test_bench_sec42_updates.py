@@ -10,7 +10,7 @@ verifies both claims structurally.
 
 import pytest
 
-from repro.cpnet import CPNet, ViewerExtension, apply_operation, best_completion
+from repro.cpnet import ViewerExtension, apply_operation, best_completion
 from repro.cpnet.examples import random_dag_network
 from repro.cpnet.updates import add_component_variable, remove_component_variable
 

@@ -9,6 +9,13 @@ protocol messages a GUI would.
 
 from repro.client.buffer import BufferEntry, ClientBuffer
 from repro.client.client import ClientModule
+from repro.client.monitor import TelemetryMonitor
 from repro.client.view import RenderTree
 
-__all__ = ["BufferEntry", "ClientBuffer", "ClientModule", "RenderTree"]
+__all__ = [
+    "BufferEntry",
+    "ClientBuffer",
+    "ClientModule",
+    "RenderTree",
+    "TelemetryMonitor",
+]

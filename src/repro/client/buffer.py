@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import BufferFullError
+from repro.obs import get_event_log, get_registry
 from repro.util.validation import check_positive
 
 
@@ -35,14 +36,23 @@ def entry_key(component: str, value: str) -> str:
 class ClientBuffer:
     """Size-bounded cache with priority-then-LRU eviction."""
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: int, owner: str = "client") -> None:
         check_positive(capacity_bytes, "capacity_bytes")
         self.capacity_bytes = int(capacity_bytes)
+        self.owner = owner
         self._entries: dict[str, BufferEntry] = {}
         self._used = 0
         self._tick = itertools.count(1)
         self.hits = 0
         self.misses = 0
+        obs = get_registry()
+        self._events = get_event_log()
+        self._g_occupancy = obs.gauge_family(
+            "client.buffer.occupancy_bytes", ("owner",)
+        ).labels(owner)
+        self._m_evictions = obs.counter_family(
+            "client.buffer.evictions", ("owner",)
+        ).labels(owner)
 
     # ----- queries ---------------------------------------------------------------
 
@@ -119,6 +129,7 @@ class ClientBuffer:
             last_used=next(self._tick),
         )
         self._used += size
+        self._g_occupancy.set(self._used)
         return True
 
     def _pinned_bytes(self) -> int:
@@ -145,6 +156,15 @@ class ClientBuffer:
                 raise BufferFullError(
                     f"cannot free {needed}B: all {self._used}B are pinned"
                 )
+            self._m_evictions.inc()
+            self._events.emit(
+                "client.buffer.evict",
+                severity="DEBUG",
+                owner=self.owner,
+                key=victim.key,
+                size=victim.size,
+                priority=victim.priority,
+            )
             self.remove(victim.key)
         return True
 
@@ -152,6 +172,7 @@ class ClientBuffer:
         entry = self._entries.pop(key, None)
         if entry is not None:
             self._used -= entry.size
+            self._g_occupancy.set(self._used)
 
     def pin(self, key: str) -> None:
         """Protect an entry from eviction (it is on screen)."""
@@ -169,6 +190,7 @@ class ClientBuffer:
     def clear(self) -> None:
         self._entries.clear()
         self._used = 0
+        self._g_occupancy.set(0)
 
     def reset_stats(self) -> None:
         self.hits = 0

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import ClientError
+from repro import obs
 from repro.client.buffer import ClientBuffer, entry_key
 from repro.client.view import RenderTree
 from repro.net.message import Message
@@ -34,7 +35,16 @@ class ClientModule:
         self.viewer_id = viewer_id
         self.node_id = f"client-{viewer_id}"
         self.network = network
-        self.buffer = ClientBuffer(buffer_bytes)
+        self.buffer = ClientBuffer(buffer_bytes, owner=self.node_id)
+        registry = obs.get_registry()
+        # Response times come from the shared simulation clock, so both
+        # the histogram and any watchdog budget on "client.view_response"
+        # are deterministic under simclock.
+        self._m_view_response = registry.histogram_family(
+            "client.view_response_s", ("viewer",)
+        ).labels(viewer_id)
+        self._m_join_latency = registry.histogram("client.join_latency_s")
+        self._watchdog = obs.get_watchdog()
         self.auto_fetch = auto_fetch
         self.session_id: str | None = None
         self.room_id: str | None = None
@@ -167,6 +177,7 @@ class ClientModule:
         self.render.apply_update(payload.get("outcome", {}))
         if self.join_time is not None:
             self.join_latency = self._now() - self.join_time
+            self._m_join_latency.observe(self.join_latency)
         self._fetch_missing(payload.get("outcome", {}))
 
     def _on_presentation_update(self, payload: dict[str, Any]) -> None:
@@ -175,7 +186,10 @@ class ClientModule:
         self.updates_received += 1
         changed = self.render.apply_update(payload.get("changes", {}))
         if self._awaiting_response_since is not None:
-            self.response_times.append(self._now() - self._awaiting_response_since)
+            elapsed = self._now() - self._awaiting_response_since
+            self.response_times.append(elapsed)
+            self._m_view_response.observe(elapsed)
+            self._watchdog.check("client.view_response", elapsed)
             self._awaiting_response_since = None
         self._fetch_missing(
             {path: payload["changes"][path] for path in changed if path in payload["changes"]}

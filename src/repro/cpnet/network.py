@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator
 
 from repro.errors import CyclicNetworkError, UnknownVariableError
 from repro.cpnet.cpt import CPT, Assignment, PreferenceRule

@@ -20,7 +20,7 @@ from time import perf_counter
 from typing import Any, Iterator, Mapping
 
 from repro.errors import DatabaseError, TransactionError
-from repro.obs import LATENCY_BUCKETS, get_registry
+from repro.obs import LATENCY_BUCKETS, get_event_log, get_registry
 from repro.db import journal as jrn
 from repro.db.blobstore import BlobRef, BlobStore
 from repro.db.journal import Journal
@@ -54,6 +54,7 @@ class Database:
         self._m_rollbacks = obs.counter("db.transactions.rolled_back")
         self._m_checkpoints = obs.counter("db.checkpoints")
         self._m_recovered = obs.counter("db.recovered_operations")
+        self._events = get_event_log()
         self._tables: dict[str, Table] = {}
         self.blobs = BlobStore(os.path.join(directory, _BLOBS))
         self._load_snapshot()
@@ -149,7 +150,9 @@ class Database:
         """Abort: journal the rollback and undo in-memory effects (LIFO)."""
         self._journal.rollback()
         self._m_rollbacks.inc()
-        for action in reversed(self._undo or []):
+        undo = self._undo or []
+        self._events.emit("db.rollback", severity="WARN", undo_actions=len(undo))
+        for action in reversed(undo):
             self._apply_undo(action)
         self._undo = None
 
@@ -289,6 +292,7 @@ class Database:
         """Snapshot all tables and truncate the journal."""
         if self._journal.in_transaction:
             raise TransactionError("cannot checkpoint inside a transaction")
+        journal_bytes = self._journal.size_bytes
         snapshot = {
             "tables": [
                 {
@@ -311,6 +315,9 @@ class Database:
         self._journal.truncate()
         self._journal.checkpoint()
         self._m_checkpoints.inc()
+        self._events.emit(
+            "db.checkpoint", tables=len(self._tables), journal_bytes=journal_bytes
+        )
 
     def _load_snapshot(self) -> None:
         path = os.path.join(self.directory, _SNAPSHOT)
@@ -329,8 +336,10 @@ class Database:
 
     def _recover(self) -> None:
         """Apply committed journal operations on top of the snapshot."""
+        recovered = 0
         for record in self._journal.committed_operations():
             self._m_recovered.inc()
+            recovered += 1
             data = record.data
             if record.op == jrn.CREATE_TABLE:
                 schema = TableSchema.from_dict(data["schema"])
@@ -367,3 +376,5 @@ class Database:
                     pk = table.schema.primary_key.type.decode(data["pk"])
                     if pk in table:
                         table.delete(pk)
+        if recovered:
+            self._events.emit("db.recovered", operations=recovered)

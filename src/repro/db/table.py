@@ -28,6 +28,11 @@ class Table:
         self._next_id = 1
         obs = get_registry()
         self._m_rows_scanned = obs.counter("db.rows_scanned")
+        # Per-table split of the same count; the flat counter stays the
+        # cross-table total existing dashboards key on.
+        self._m_rows_scanned_table = obs.counter_family(
+            "db.table.rows_scanned", ("table",)
+        ).labels(schema.name)
         self._m_access = {
             "pk-lookup": obs.counter("db.access.pk_lookup"),
             "index": obs.counter("db.access.index"),
@@ -240,4 +245,5 @@ class Table:
                 self._m_access["full-scan"].inc()
                 candidates = list(self._rows.values())
         self._m_rows_scanned.inc(len(candidates))
+        self._m_rows_scanned_table.inc(len(candidates))
         return candidates

@@ -22,7 +22,6 @@ from repro.cpnet.reasoning import best_completion, optimal_outcome
 from repro.cpnet.updates import add_component_variable, remove_component_variable
 from repro.document.component import (
     COMPOSITE_HIDDEN,
-    COMPOSITE_SHOWN,
     CompositeMultimediaComponent,
     MultimediaComponent,
     PrimitiveMultimediaComponent,

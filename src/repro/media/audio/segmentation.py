@@ -28,7 +28,6 @@ from repro.media.audio.features import (
     frame_times,
     power_spectrum,
     spectral_flatness,
-    spectral_flux,
 )
 from repro.media.audio.signal import AudioSignal
 

@@ -17,7 +17,7 @@ from repro.errors import NetworkError
 from repro.net.link import Link
 from repro.net.message import Message
 from repro.net.simclock import SimClock
-from repro.obs import LATENCY_BUCKETS, get_registry
+from repro.obs import LATENCY_BUCKETS, get_event_log, get_registry
 
 
 class Node(Protocol):
@@ -56,6 +56,8 @@ class SimulatedNetwork:
         self._hub_id: str | None = None
         self.stats = NetworkStats()
         self._obs = get_registry()
+        self._events = get_event_log()
+        self._m_drops = self._obs.counter("net.drops")
         self._m_messages = self._obs.counter("net.messages")
         self._m_bytes = self._obs.counter("net.bytes_total")
         self._m_queue_delay = self._obs.histogram("net.queue_delay_s", LATENCY_BUCKETS)
@@ -172,10 +174,22 @@ class SimulatedNetwork:
         return message
 
     def _deliver(self, target: Node, message: Message) -> None:
-        # The node may have detached between send and arrival; drop silently
-        # (the paper's server discards updates for departed clients).
-        if target.node_id in self._nodes:
-            target.receive(message)
+        # The node may have detached between send and arrival; drop the
+        # message (the paper's server discards updates for departed
+        # clients) but leave a WARN in the flight recorder — a silent
+        # drop is exactly the kind of thing post-mortems need to see.
+        if target.node_id not in self._nodes:
+            self._m_drops.inc()
+            self._events.emit(
+                "net.drop",
+                severity="WARN",
+                at=self.clock.now,
+                node=target.node_id,
+                kind=message.kind,
+                size_bytes=message.size_bytes,
+            )
+            return
+        target.receive(message)
 
     def run(self) -> int:
         """Drive the clock until the network is quiescent."""

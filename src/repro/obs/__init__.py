@@ -1,12 +1,18 @@
-"""``repro.obs`` — metrics, tracing and profiling for every tier.
+"""``repro.obs`` — metrics, tracing, events and watchdogs for every tier.
 
-The package keeps one process-wide default :class:`MetricsRegistry`
-(always on — instruments are cheap) and one default :class:`Tracer`.
-Instrumented components resolve their handles from
-:func:`get_registry` at construction time; swap in a
-:class:`NullRegistry` via :func:`set_registry` / :func:`use_registry`
-*before* constructing components to turn observability off, or a fresh
-:class:`MetricsRegistry` to isolate a test's counts.
+The package keeps one process-wide default of each telemetry primitive
+(always on — instruments are cheap):
+
+- a :class:`MetricsRegistry` (:func:`get_registry`),
+- a :class:`Tracer` (:data:`trace`),
+- an :class:`EventLog` flight recorder (:func:`get_event_log`),
+- a :class:`Watchdog` listening to the default tracer
+  (:func:`get_watchdog`).
+
+Instrumented components resolve their handles from the getters at
+construction time; swap in the Null variants via the ``set_*`` /
+``use_*`` helpers *before* constructing components to turn observability
+off, or fresh instances to isolate a test's counts.
 
 Benchmarks never swap: they snapshot the default registry before and
 after the measured region and report :func:`diff` of the two.
@@ -19,38 +25,75 @@ from typing import Iterator
 
 from repro.obs.metrics import (
     COUNT_BUCKETS,
+    DEFAULT_MAX_SERIES,
     LATENCY_BUCKETS,
+    OVERFLOW_LABEL,
     SIZE_BUCKETS,
     Counter,
     Gauge,
     Histogram,
+    MetricFamily,
     MetricsRegistry,
     NullRegistry,
 )
-from repro.obs.export import diff, to_json, to_lines
+from repro.obs.export import diff, to_exposition, to_json, to_lines
 from repro.obs.tracing import Span, Tracer, render_span_tree, timeit
+from repro.obs.events import (
+    DEBUG,
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARN,
+    Event,
+    EventLog,
+    NullEventLog,
+    severity_rank,
+)
+from repro.obs.watch import Watchdog
+from repro.obs.dashboard import render_dashboard
 
 __all__ = [
     "COUNT_BUCKETS",
+    "DEBUG",
+    "DEFAULT_MAX_SERIES",
+    "ERROR",
+    "Event",
+    "EventLog",
+    "INFO",
     "LATENCY_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullEventLog",
+    "NullRegistry",
+    "OVERFLOW_LABEL",
+    "SEVERITIES",
     "SIZE_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
-    "MetricsRegistry",
-    "NullRegistry",
     "Span",
     "Tracer",
+    "WARN",
+    "Watchdog",
     "diff",
+    "get_event_log",
     "get_registry",
+    "get_watchdog",
+    "render_dashboard",
     "render_span_tree",
+    "set_event_log",
     "set_registry",
+    "set_watchdog",
+    "severity_rank",
     "snapshot",
     "timeit",
+    "to_exposition",
     "to_json",
     "to_lines",
     "trace",
+    "use_event_log",
     "use_registry",
+    "use_watchdog",
 ]
 
 _registry: MetricsRegistry | NullRegistry = MetricsRegistry()
@@ -58,6 +101,21 @@ _registry: MetricsRegistry | NullRegistry = MetricsRegistry()
 #: Process-default tracer (wall clock). Components trace through this
 #: unless handed their own Tracer.
 trace = Tracer()
+
+#: Process-default flight recorder, correlated to the default tracer.
+_event_log: EventLog | NullEventLog = EventLog(tracer=trace)
+
+#: Process-default watchdog. No budgets by default — it only acts once
+#: :meth:`Watchdog.set_budget` is called — but it is already wired to
+#: every span the default tracer finishes.
+_watchdog: Watchdog = Watchdog(event_log=_event_log)
+
+
+def _watchdog_listener(span: Span) -> None:
+    _watchdog.check(span.name, span.duration)
+
+
+trace.add_listener(_watchdog_listener)
 
 
 def get_registry() -> MetricsRegistry | NullRegistry:
@@ -87,6 +145,60 @@ def use_registry(
         yield registry
     finally:
         set_registry(previous)
+
+
+def get_event_log() -> EventLog | NullEventLog:
+    """The process-default flight recorder."""
+    return _event_log
+
+
+def set_event_log(event_log: EventLog | NullEventLog) -> EventLog | NullEventLog:
+    """Replace the default flight recorder; returns it.
+
+    The default watchdog follows along: its violations land in the new
+    log. Components cache their log handle at construction, so swap
+    before building whatever should record into it.
+    """
+    global _event_log
+    _event_log = event_log
+    _watchdog._event_log = event_log
+    return event_log
+
+
+@contextmanager
+def use_event_log(
+    event_log: EventLog | NullEventLog,
+) -> Iterator[EventLog | NullEventLog]:
+    """Temporarily install *event_log* as the default (test isolation)."""
+    previous = get_event_log()
+    set_event_log(event_log)
+    try:
+        yield event_log
+    finally:
+        set_event_log(previous)
+
+
+def get_watchdog() -> Watchdog:
+    """The process-default watchdog (listening to the default tracer)."""
+    return _watchdog
+
+
+def set_watchdog(watchdog: Watchdog) -> Watchdog:
+    """Replace the default watchdog; returns it."""
+    global _watchdog
+    _watchdog = watchdog
+    return watchdog
+
+
+@contextmanager
+def use_watchdog(watchdog: Watchdog) -> Iterator[Watchdog]:
+    """Temporarily install *watchdog* as the default (test isolation)."""
+    previous = get_watchdog()
+    set_watchdog(watchdog)
+    try:
+        yield watchdog
+    finally:
+        set_watchdog(previous)
 
 
 def snapshot() -> dict:

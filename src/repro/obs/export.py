@@ -1,4 +1,4 @@
-"""Exporters over registry snapshots: JSON, flat lines, and diffs.
+"""Exporters over registry snapshots: JSON, lines, diffs and exposition.
 
 A *snapshot* is the plain-dict form returned by
 ``MetricsRegistry.snapshot()``::
@@ -8,6 +8,12 @@ A *snapshot* is the plain-dict form returned by
      "histograms": {name: {count, total, mean, min, max, p50, p90, p99,
                            bounds, bucket_counts}}}
 
+Labelled family children appear under their canonical names
+(``db.rows_scanned{table="patients"}``), so every exporter handles
+labels uniformly; :func:`to_exposition` additionally re-renders them in
+Prometheus text format (sanitized metric names, ``le`` buckets,
+``_sum``/``_count`` series).
+
 Everything here is deterministic: keys are emitted sorted and JSON is
 rendered with fixed separators, so identical metric states produce
 byte-identical output (the property benchmark diffs rely on).
@@ -16,6 +22,7 @@ byte-identical output (the property benchmark diffs rely on).
 from __future__ import annotations
 
 import json
+import re
 from typing import Any
 
 Snapshot = dict[str, Any]
@@ -43,6 +50,8 @@ def to_lines(snapshot: Snapshot) -> str:
             f"mean={mean:.9g} min={summary['min']:.9g} max={summary['max']:.9g} "
             f"p50={summary['p50']:.9g} p90={summary['p90']:.9g} p99={summary['p99']:.9g}"
         )
+    for name, value in sorted(snapshot.get("gauges_absent", {}).items()):
+        lines.append(f"gauge {name} absent last={value}")
     return "\n".join(lines)
 
 
@@ -89,6 +98,12 @@ def diff(before: Snapshot, after: Snapshot) -> Snapshot:
     value (a level, not a rate). Instruments that never moved are
     omitted, so a benchmark's diff contains exactly the activity of the
     benchmarked region.
+
+    A gauge present in *before* but gone from *after* (the registry was
+    reset or recreated between snapshots) is not silently dropped: it is
+    reported under ``gauges_absent`` as its last-known value going to
+    absent. The key is present only when something actually disappeared,
+    so quiescent diffs keep the three-section shape.
     """
     counters_before = before.get("counters", {})
     counters: dict[str, Any] = {}
@@ -96,14 +111,100 @@ def diff(before: Snapshot, after: Snapshot) -> Snapshot:
         delta = value - counters_before.get(name, 0)
         if delta:
             counters[name] = delta
+    gauges_after = after.get("gauges", {})
     gauges = {
         name: value
-        for name, value in after.get("gauges", {}).items()
+        for name, value in gauges_after.items()
         if value != before.get("gauges", {}).get(name, 0)
+    }
+    gauges_absent = {
+        name: value
+        for name, value in before.get("gauges", {}).items()
+        if name not in gauges_after
     }
     histograms_before = before.get("histograms", {})
     histograms: dict[str, Any] = {}
     for name, summary in after.get("histograms", {}).items():
         if summary.get("count", 0) != histograms_before.get(name, {}).get("count", 0):
             histograms[name] = _diff_histogram(histograms_before.get(name, {}), summary)
-    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+    result: Snapshot = {"counters": counters, "gauges": gauges, "histograms": histograms}
+    if gauges_absent:
+        result["gauges_absent"] = gauges_absent
+    return result
+
+
+# ----- Prometheus-style exposition ------------------------------------------------
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _split_series(name: str) -> tuple[str, str]:
+    """Split a canonical instrument name into (base, label-body)."""
+    if name.endswith("}") and "{" in name:
+        base, _, labels = name[:-1].partition("{")
+        return base, labels
+    return name, ""
+
+
+def _metric_name(base: str) -> str:
+    return _NAME_SANITIZE.sub("_", base)
+
+
+def _series(name: str, labels: str, value: Any) -> str:
+    body = f"{{{labels}}}" if labels else ""
+    return f"{name}{body} {value}"
+
+
+def _with_label(labels: str, extra: str) -> str:
+    return f"{labels},{extra}" if labels else extra
+
+
+def to_exposition(snapshot: Snapshot) -> str:
+    """Prometheus text-format rendering of a snapshot.
+
+    Metric names are sanitized (``db.rows_scanned`` becomes
+    ``db_rows_scanned``); labelled family children keep their labels;
+    histograms expand to cumulative ``_bucket`` series plus ``_sum`` and
+    ``_count``. Output is sorted, so identical snapshots render
+    byte-identical text.
+    """
+    by_base: dict[tuple[str, str], list[tuple[str, list[str]]]] = {}
+
+    def add(kind: str, base: str, labels: str, lines: list[str]) -> None:
+        by_base.setdefault((base, kind), []).append((labels, lines))
+
+    for name, value in snapshot.get("counters", {}).items():
+        base, labels = _split_series(name)
+        metric = _metric_name(base)
+        add("counter", metric, labels, [_series(metric, labels, value)])
+    for name, value in snapshot.get("gauges", {}).items():
+        base, labels = _split_series(name)
+        metric = _metric_name(base)
+        add("gauge", metric, labels, [_series(metric, labels, value)])
+    for name, summary in snapshot.get("histograms", {}).items():
+        base, labels = _split_series(name)
+        metric = _metric_name(base)
+        bounds = summary.get("bounds", []) if summary else []
+        buckets = summary.get("bucket_counts", []) if summary else []
+        count = summary.get("count", 0) if summary else 0
+        total = summary.get("total", 0.0) if summary else 0.0
+        lines: list[str] = []
+        cumulative = 0
+        for bound, bucket_count in zip(bounds, buckets):
+            cumulative += bucket_count
+            lines.append(
+                _series(f"{metric}_bucket", _with_label(labels, f'le="{bound}"'), cumulative)
+            )
+        lines.append(
+            _series(f"{metric}_bucket", _with_label(labels, 'le="+Inf"'), count)
+        )
+        lines.append(_series(f"{metric}_sum", labels, total))
+        lines.append(_series(f"{metric}_count", labels, count))
+        add("histogram", metric, labels, lines)
+
+    output: list[str] = []
+    for (metric, kind), series in sorted(by_base.items()):
+        output.append(f"# TYPE {metric} {kind}")
+        for _, lines in sorted(series):
+            output.extend(lines)
+    return "\n".join(output)

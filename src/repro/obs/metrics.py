@@ -7,6 +7,16 @@ instrument handles once — typically in ``__init__`` — and increment by
 batch totals (``rows_scanned.inc(len(candidates))``) rather than per
 element, so the cost per *operation* is a handful of nanoseconds.
 
+Labelled *families* add bounded dimensionality on top: a family is a
+named group of instruments keyed by label values
+(``registry.counter_family("db.rows_scanned", ("table",)).labels("patients")``).
+Children are ordinary instruments registered under the canonical name
+``db.rows_scanned{table="patients"}``, so every exporter (JSON, lines,
+diff, exposition) sees them with no special casing. Cardinality is
+bounded per family: once ``max_series`` distinct label sets exist, new
+label sets collapse into one shared overflow child (labels
+``"__other__"``) instead of growing without limit.
+
 When observability must be off entirely, install a
 :class:`NullRegistry`: it hands out shared no-op instruments, so an
 instrumented call site degenerates to one attribute lookup plus a no-op
@@ -16,7 +26,7 @@ call.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 #: Default bucket bounds for latency histograms (seconds, 1 µs → 30 s).
 LATENCY_BUCKETS: tuple[float, ...] = (
@@ -138,6 +148,95 @@ class Histogram:
         return f"Histogram({self.name!r}, count={self.count})"
 
 
+#: Label values a family collapses to once ``max_series`` is exceeded.
+OVERFLOW_LABEL = "__other__"
+
+#: Default per-family series bound.
+DEFAULT_MAX_SERIES = 64
+
+
+class MetricFamily:
+    """A group of same-named instruments split by label values.
+
+    ``labels(*values)`` resolves the child for one label set, creating it
+    on first use. Call sites that know their labels at construction time
+    resolve the child once and keep the handle — the hot path then pays
+    exactly what an unlabelled instrument costs.
+    """
+
+    __slots__ = ("name", "kind", "label_names", "max_series", "_children", "_store", "_make")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        label_names: Sequence[str],
+        max_series: int,
+        store: dict[str, Any],
+        make: Callable[[str], Any],
+    ) -> None:
+        if not label_names:
+            raise ValueError(f"family {name!r} needs at least one label name")
+        if max_series < 1:
+            raise ValueError(f"family {name!r}: max_series must be >= 1")
+        self.name = name
+        self.kind = kind
+        self.label_names = tuple(str(n) for n in label_names)
+        self.max_series = max_series
+        self._children: dict[tuple[str, ...], Any] = {}
+        self._store = store
+        self._make = make
+
+    def labels(self, *values: Any) -> Any:
+        """The child instrument for one label-value tuple."""
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"family {self.name!r} takes labels {self.label_names}, "
+                f"got {len(values)} value(s)"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            if len(self._children) >= self.max_series:
+                key = (OVERFLOW_LABEL,) * len(self.label_names)
+                child = self._children.get(key)
+                if child is not None:
+                    return child
+            child = self._make(self.full_name(key))
+            self._children[key] = child
+            self._store[child.name] = child
+        return child
+
+    def full_name(self, values: Sequence[str]) -> str:
+        """Canonical registered name of one child (Prometheus-style)."""
+        labels = ",".join(
+            f'{name}="{_escape_label(value)}"'
+            for name, value in zip(self.label_names, values)
+        )
+        return f"{self.name}{{{labels}}}"
+
+    def remove(self, *values: Any) -> None:
+        """Drop one child (e.g. when its labelled entity is retired)."""
+        key = tuple(str(v) for v in values)
+        child = self._children.pop(key, None)
+        if child is not None:
+            self._store.pop(child.name, None)
+
+    @property
+    def children(self) -> Mapping[tuple[str, ...], Any]:
+        return dict(self._children)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricFamily({self.name!r}, {self.kind}, labels={self.label_names}, "
+            f"{len(self._children)} series)"
+        )
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
 class MetricsRegistry:
     """Name-keyed store of instruments; get-or-create semantics."""
 
@@ -147,6 +246,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._families: dict[str, MetricFamily] = {}
 
     # ----- instruments -----------------------------------------------------------
 
@@ -167,6 +267,66 @@ class MetricsRegistry:
         if instrument is None:
             instrument = self._histograms[name] = Histogram(name, bounds)
         return instrument
+
+    # ----- labelled families ------------------------------------------------------
+
+    def counter_family(
+        self,
+        name: str,
+        label_names: Sequence[str],
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> MetricFamily:
+        return self._family(name, "counter", label_names, max_series, self._counters, Counter)
+
+    def gauge_family(
+        self,
+        name: str,
+        label_names: Sequence[str],
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> MetricFamily:
+        return self._family(name, "gauge", label_names, max_series, self._gauges, Gauge)
+
+    def histogram_family(
+        self,
+        name: str,
+        label_names: Sequence[str],
+        bounds: Sequence[float] = LATENCY_BUCKETS,
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> MetricFamily:
+        return self._family(
+            name, "histogram", label_names, max_series, self._histograms,
+            lambda full_name: Histogram(full_name, bounds),
+        )
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        label_names: Sequence[str],
+        max_series: int,
+        store: dict[str, Any],
+        make: Callable[[str], Any],
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = MetricFamily(
+                name, kind, label_names, max_series, store, make
+            )
+            return family
+        if family.kind != kind:
+            raise ValueError(
+                f"family {name!r} already exists as a {family.kind} family"
+            )
+        if family.label_names != tuple(str(n) for n in label_names):
+            raise ValueError(
+                f"family {name!r} already declared with labels "
+                f"{family.label_names}, not {tuple(label_names)}"
+            )
+        return family
+
+    @property
+    def families(self) -> Mapping[str, MetricFamily]:
+        return self._families
 
     # ----- introspection ---------------------------------------------------------
 
@@ -195,6 +355,7 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self._families.clear()
 
 
 class _NullInstrument:
@@ -230,6 +391,26 @@ class _NullInstrument:
 _NULL_INSTRUMENT = _NullInstrument()
 
 
+class _NullFamily:
+    """Shared do-nothing family: every label set is the null instrument."""
+
+    __slots__ = ()
+    name = "null"
+    kind = "null"
+    label_names = ()
+    max_series = 0
+    children: Mapping[tuple[str, ...], Any] = {}
+
+    def labels(self, *values: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def remove(self, *values: Any) -> None:
+        pass
+
+
+_NULL_FAMILY = _NullFamily()
+
+
 class NullRegistry:
     """Observability off: every instrument is the shared no-op object."""
 
@@ -243,6 +424,29 @@ class NullRegistry:
 
     def histogram(self, name: str, bounds: Sequence[float] = LATENCY_BUCKETS) -> _NullInstrument:
         return _NULL_INSTRUMENT
+
+    def counter_family(
+        self, name: str, label_names: Sequence[str], max_series: int = DEFAULT_MAX_SERIES
+    ) -> _NullFamily:
+        return _NULL_FAMILY
+
+    def gauge_family(
+        self, name: str, label_names: Sequence[str], max_series: int = DEFAULT_MAX_SERIES
+    ) -> _NullFamily:
+        return _NULL_FAMILY
+
+    def histogram_family(
+        self,
+        name: str,
+        label_names: Sequence[str],
+        bounds: Sequence[float] = LATENCY_BUCKETS,
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> _NullFamily:
+        return _NULL_FAMILY
+
+    @property
+    def families(self) -> Mapping[str, MetricFamily]:
+        return {}
 
     @property
     def counters(self) -> Mapping[str, Counter]:

@@ -16,6 +16,7 @@ then byte-identical run to run).
 
 from __future__ import annotations
 
+import itertools
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -24,15 +25,23 @@ from typing import Any, Callable, Iterator
 
 
 class Span:
-    """One timed region; children are spans opened while it was open."""
+    """One timed region; children are spans opened while it was open.
 
-    __slots__ = ("name", "start", "end", "children")
+    ``span_id`` is unique within the owning tracer (a deterministic
+    per-tracer sequence, so simulated runs produce identical ids) and is
+    what flight-recorder events correlate to. ``error`` holds the
+    exception type name when the traced block raised, ``None`` otherwise.
+    """
 
-    def __init__(self, name: str, start: float) -> None:
+    __slots__ = ("name", "start", "end", "children", "span_id", "error")
+
+    def __init__(self, name: str, start: float, span_id: int = 0) -> None:
         self.name = name
         self.start = start
         self.end: float | None = None
         self.children: list["Span"] = []
+        self.span_id = span_id
+        self.error: str | None = None
 
     @property
     def duration(self) -> float:
@@ -43,9 +52,11 @@ class Span:
         """Deterministic serializable form of the subtree."""
         return {
             "name": self.name,
+            "span_id": self.span_id,
             "start": self.start,
             "end": self.end,
             "duration": self.duration,
+            "error": self.error,
             "children": [child.to_dict() for child in self.children],
         }
 
@@ -78,18 +89,37 @@ class Tracer:
         self._clock = clock if clock is not None else time.perf_counter
         self._registry = registry
         self._roots: deque[Span] = deque(maxlen=max_roots)
+        self._ids = itertools.count(1)
+        self._listeners: list[Callable[[Span], None]] = []
         self._stack: ContextVar[tuple[Span, ...]] = ContextVar(
             "repro_obs_span_stack", default=()
         )
 
+    def add_listener(self, listener: Callable[[Span], None]) -> Callable[[Span], None]:
+        """Call *listener* with every finished span (watchdogs hook here)."""
+        self._listeners.append(listener)
+        return listener
+
+    def remove_listener(self, listener: Callable[[Span], None]) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
     @contextmanager
     def span(self, name: str) -> Iterator[Span]:
-        """Open a span named *name* under the innermost open span."""
-        opened = Span(name, self._clock())
+        """Open a span named *name* under the innermost open span.
+
+        A raising block still closes the span; the exception's type name
+        is recorded on ``span.error`` and counted as
+        ``trace.<name>.errors`` before the exception propagates.
+        """
+        opened = Span(name, self._clock(), span_id=next(self._ids))
         stack = self._stack.get()
         token = self._stack.set(stack + (opened,))
         try:
             yield opened
+        except BaseException as exc:
+            opened.error = type(exc).__name__
+            raise
         finally:
             opened.end = self._clock()
             self._stack.reset(token)
@@ -99,6 +129,10 @@ class Tracer:
                 self._roots.append(opened)
             if self._registry is not None:
                 self._registry.histogram("trace." + name).observe(opened.duration)
+                if opened.error is not None:
+                    self._registry.counter(f"trace.{name}.errors").inc()
+            for listener in tuple(self._listeners):
+                listener(opened)
 
     @property
     def current(self) -> Span | None:
@@ -116,7 +150,13 @@ class Tracer:
         return self._roots[-1] if self._roots else None
 
     def clear(self) -> None:
+        """Drop retained roots and restart the span-id sequence.
+
+        After ``clear()`` a repeated identical run produces identical
+        span ids — what the byte-identical dashboard tests rely on.
+        """
         self._roots.clear()
+        self._ids = itertools.count(1)
 
 
 def render_span_tree(span: Span, indent: str = "") -> str:
@@ -125,9 +165,11 @@ def render_span_tree(span: Span, indent: str = "") -> str:
     Fully determined by span names and clock readings — with a simulated
     clock the output is byte-identical across runs.
     """
+    error = f"  !error={span.error}" if span.error is not None else ""
     lines = [
         f"{indent}{span.name}  {span.duration * 1000:.3f} ms"
         f"  [{span.start:.6f} -> {span.end if span.end is not None else span.start:.6f}]"
+        f"{error}"
     ]
     for child in span.children:
         lines.append(render_span_tree(child, indent + "  "))

@@ -1,0 +1,101 @@
+"""Slow-op watchdog: per-span-name latency budgets.
+
+A :class:`Watchdog` holds a budget (in clock seconds) per span name.
+Hooked to a tracer via ``tracer.add_listener(watchdog.on_span)`` — or
+called directly with ``check(name, duration)`` — it emits one WARN
+event (``watch.slow_op``) into the flight recorder per violation and
+counts it in the ``watch.violations`` counter family, labelled by
+operation. Under a simulated clock every firing is deterministic:
+budgets compare against span durations the simulation computed, so the
+same run produces the same slow-op log byte for byte.
+
+The watchdog is the reproduction's slow-query and slow-propagation log:
+set budgets like ``watchdog.set_budget("db.select", 0.050)`` and
+``watchdog.set_budget("server.propagate", 0.100)`` and read violations
+off the event log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+
+class Watchdog:
+    """Emits WARN events when named operations exceed their budget.
+
+    Parameters
+    ----------
+    event_log:
+        Flight recorder to emit ``watch.slow_op`` WARN events into.
+        When ``None``, the package-default event log is resolved lazily
+        at first violation (so module import order does not matter).
+    registry:
+        Metrics registry for the ``watch.violations`` counter family
+        (labelled by ``op``). Defaults to the package default, resolved
+        lazily.
+    """
+
+    def __init__(self, event_log: Any = None, registry: Any = None) -> None:
+        self._event_log = event_log
+        self._registry = registry
+        self._budgets: dict[str, float] = {}
+        self._violations_family: Any = None
+
+    # ----- configuration ---------------------------------------------------------
+
+    def set_budget(self, name: str, seconds: float) -> None:
+        """Operations named *name* slower than *seconds* are violations."""
+        if seconds <= 0:
+            raise ValueError(f"budget for {name!r} must be positive, got {seconds!r}")
+        self._budgets[name] = float(seconds)
+
+    def clear_budget(self, name: str) -> None:
+        self._budgets.pop(name, None)
+
+    @property
+    def budgets(self) -> Mapping[str, float]:
+        return dict(self._budgets)
+
+    # ----- checking --------------------------------------------------------------
+
+    def check(self, name: str, duration: float) -> bool:
+        """Report one finished operation; returns True when it violated.
+
+        Exactly one WARN event and one counter increment happen per
+        violating call — callers that route every span through
+        ``on_span`` therefore get exactly one firing per slow span.
+        """
+        budget = self._budgets.get(name)
+        if budget is None or duration <= budget:
+            return False
+        self._resolve()
+        self._violations_family.labels(name).inc()
+        self._event_log.emit(
+            "watch.slow_op",
+            severity="WARN",
+            op=name,
+            duration_s=round(duration, 9),
+            budget_s=budget,
+        )
+        return True
+
+    def on_span(self, span: Any) -> None:
+        """Tracer-listener form: ``tracer.add_listener(watchdog.on_span)``."""
+        self.check(span.name, span.duration)
+
+    def _resolve(self) -> None:
+        """Bind the default event log / registry on first violation."""
+        if self._event_log is None:
+            from repro import obs
+
+            self._event_log = obs.get_event_log()
+        if self._violations_family is None:
+            registry = self._registry
+            if registry is None:
+                from repro import obs
+
+                registry = self._registry = obs.get_registry()
+            self._violations_family = registry.counter_family("watch.violations", ("op",))
+
+    def __repr__(self) -> str:
+        return f"Watchdog({len(self._budgets)} budgets)"

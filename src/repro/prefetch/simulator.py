@@ -75,7 +75,7 @@ class PrefetchSimulator:
             raise PrefetchError(f"unknown policy {policy!r}; know {POLICIES}")
         self.document = document
         self.policy = policy
-        self.buffer = ClientBuffer(buffer_bytes)
+        self.buffer = ClientBuffer(buffer_bytes, owner=f"prefetch-{policy}")
         self.bandwidth_bps = bandwidth_bps
         self.think_time_s = think_time_s
         self.latency_s = latency_s

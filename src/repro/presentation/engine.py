@@ -13,9 +13,9 @@ as in the paper's Figure 9 multi-resolution example.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
 
 from repro.errors import DocumentError
+from repro.obs import get_registry
 from repro.cpnet.updates import OperationVariable, ViewerExtension
 from repro.document.document import MultimediaDocument
 from repro.presentation.spec import PresentationSpec, build_spec
@@ -60,8 +60,29 @@ class PresentationEngine:
         self._shared_version = 0
         self._viewer_versions: dict[str, int] = {}
         self._spec_cache: dict[str, tuple[int, int, PresentationSpec]] = {}
-        self.cache_hits = 0
-        self.cache_misses = 0
+        # Cache accounting: plain per-instance tallies (what tests and
+        # `stats()` expect) plus registry children split per document, so
+        # dashboards see cache behaviour without holding engine refs.
+        family_hits = get_registry().counter_family(
+            "presentation.spec_cache.hits", ("doc",)
+        )
+        family_misses = get_registry().counter_family(
+            "presentation.spec_cache.misses", ("doc",)
+        )
+        self._m_cache_hits = family_hits.labels(document.doc_id)
+        self._m_cache_misses = family_misses.labels(document.doc_id)
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    @property
+    def cache_hits(self) -> int:
+        """Spec-cache hits by *this* engine."""
+        return self._cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Spec-cache misses by *this* engine."""
+        return self._cache_misses
 
     # ----- viewers ----------------------------------------------------------
 
@@ -181,9 +202,11 @@ class PresentationEngine:
         )
         cached = self._spec_cache.get(viewer_id)
         if cached is not None and cached[:2] == versions:
-            self.cache_hits += 1
+            self._cache_hits += 1
+            self._m_cache_hits.inc()
             return cached[2]
-        self.cache_misses += 1
+        self._cache_misses += 1
+        self._m_cache_misses.inc()
         extension = self._extensions[viewer_id]
         evidence: dict[str, str] = {}
         for component, value in self._shared_choices.items():

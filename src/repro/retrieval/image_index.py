@@ -14,7 +14,6 @@ import numpy as np
 
 from repro.errors import DatabaseError
 from repro.obs import LATENCY_BUCKETS, get_registry
-from repro.db.catalog import IMAGE_OBJECTS_TABLE
 from repro.db.engine import Database
 from repro.db.orm import MultimediaObjectStore, StoredObject
 from repro.db.query import Eq

@@ -60,7 +60,9 @@ class InteractionServer:
         self._rooms: dict[str, Room] = {}
         self._rooms_by_doc: dict[str, str] = {}
         registry = obs.get_registry()
+        self._registry = registry
         self._trace = obs.trace
+        self._events = obs.get_event_log()
         self._m_messages_in = registry.counter("server.messages_in")
         self._m_messages_out = registry.counter("server.messages_out")
         self._m_bytes_out = registry.counter("server.bytes_out")
@@ -68,12 +70,32 @@ class InteractionServer:
         self._m_prop_updates = registry.counter("server.propagation.updates")
         self._m_prop_diff_bytes = registry.counter("server.propagation.diff_bytes")
         self._m_prop_full_bytes = registry.counter("server.propagation.full_bytes")
+        # Per-room split of the same propagation bytes ("which room is
+        # hot?"); the flat counters above stay the cross-room totals.
+        self._f_prop_bytes = registry.counter_family(
+            "server.propagation.room_bytes", ("room", "mode")
+        )
         self._m_prop_fanout = registry.histogram(
             "server.propagation.fanout", obs.COUNT_BUCKETS
         )
         self._g_sessions = registry.gauge("server.sessions_connected")
         self._g_rooms = registry.gauge("server.rooms_open")
         self._g_occupancy = registry.gauge("server.room_occupancy")
+        self._g_monitors = registry.gauge("server.monitors_connected")
+        # One server per process is the paper's architecture; claim the
+        # gauges so a recycled registry never shows a dead server's state.
+        self._g_sessions.set(0)
+        self._g_rooms.set(0)
+        self._g_occupancy.set(0)
+        self._g_monitors.set(0)
+        # Telemetry monitors: pushed metric diffs + buffered events,
+        # throttled to at most one push per `telemetry_interval` clock
+        # seconds (0 = push on every server activity).
+        self._monitors: dict[str, Session] = {}
+        self._pending_events: list[dict[str, Any]] = []
+        self._telemetry_baseline: dict[str, Any] | None = None
+        self._last_telemetry_at: float | None = None
+        self.telemetry_interval: float = 0.0
         from repro.server.triggers import TriggerManager
 
         self.triggers = TriggerManager()
@@ -149,6 +171,13 @@ class InteractionServer:
             self._g_occupancy.set(
                 sum(len(r.member_sessions) for r in self._rooms.values())
             )
+            self._emit(
+                "server.room_join",
+                room=room.room_id,
+                doc=doc_id,
+                viewer=session.viewer_id,
+                occupancy=len(room.member_sessions),
+            )
             if self.use_profiles:
                 profile = self._profile_of(session.viewer_id)
                 # Replay stable habits as personal evidence: the frequent
@@ -178,6 +207,13 @@ class InteractionServer:
         room.leave(session_id)
         session.forget_spec(room.document.doc_id)
         session.room_id = None
+        self._emit(
+            "server.room_leave",
+            room=room.room_id,
+            doc=room.document.doc_id,
+            viewer=session.viewer_id,
+            occupancy=len(room.member_sessions),
+        )
         if room.is_empty:
             self.store.store_document(room.document)
             # "The results of the discussions ... may be stored in the
@@ -191,6 +227,9 @@ class InteractionServer:
             del self._rooms[room.room_id]
             del self._rooms_by_doc[room.document.doc_id]
             self._g_rooms.set(len(self._rooms))
+            self._emit(
+                "server.room_closed", room=room.room_id, doc=room.document.doc_id
+            )
         self._g_occupancy.set(sum(len(r.member_sessions) for r in self._rooms.values()))
 
     # ----- cooperative actions -------------------------------------------------------------
@@ -329,6 +368,9 @@ class InteractionServer:
         """Recompute every member's presentation and ship what changed."""
         with self._trace.span("server.propagate"):
             doc_id = room.document.doc_id
+            diff_bytes = self._f_prop_bytes.labels(room.room_id, "diff")
+            full_bytes = self._f_prop_bytes.labels(room.room_id, "full")
+            shipped = 0
             updates: dict[str, dict[str, str]] = {}
             for member_id in room.member_sessions:
                 member = self._session(member_id)
@@ -343,13 +385,26 @@ class InteractionServer:
                 member.remember_spec(doc_id, spec.outcome)
                 # Diff-vs-full accounting: what this update costs on the
                 # wire against what a whole-outcome resend would cost.
-                self._m_prop_diff_bytes.inc(encoded_size(delta))
-                self._m_prop_full_bytes.inc(encoded_size(dict(spec.outcome)))
+                delta_size = encoded_size(delta)
+                full_size = encoded_size(dict(spec.outcome))
+                self._m_prop_diff_bytes.inc(delta_size)
+                self._m_prop_full_bytes.inc(full_size)
+                diff_bytes.inc(delta_size)
+                full_bytes.inc(full_size)
+                shipped += delta_size
                 if self.network is not None:
                     body = {"doc_id": doc_id, "changes": delta, "seq": change.seq}
                     self._net_send(member.node_id, MessageKind.PRESENTATION_UPDATE, body)
             self._m_prop_updates.inc(len(updates))
             self._m_prop_fanout.observe(len(updates))
+            self._emit(
+                "server.propagate",
+                severity="DEBUG",
+                room=room.room_id,
+                seq=change.seq,
+                fanout=len(updates),
+                diff_bytes=shipped,
+            )
             if self.network is not None:
                 event_body = {
                     "doc_id": doc_id, "seq": change.seq,
@@ -382,6 +437,83 @@ class InteractionServer:
                 self._net_send(session.node_id, MessageKind.BROADCAST, payload)
         return len(targets)
 
+    # ----- telemetry monitors ----------------------------------------------------------
+
+    def connect_monitor(self, viewer_id: str, node_id: str | None = None) -> Session:
+        """Register a telemetry monitor session (the paper's machinery,
+        watching itself): it receives metric-diff snapshots and flight
+        recorder events as ``TELEMETRY`` / ``TELEMETRY_EVENT`` messages,
+        pushed after server activity (at most one push per
+        ``telemetry_interval`` clock seconds).
+        """
+        session = Session(
+            session_id=self._ids.next("monitor"),
+            viewer_id=viewer_id,
+            node_id=node_id if node_id is not None else viewer_id,
+            kind="monitor",
+        )
+        if not self._monitors:
+            # Lazy subscribe: servers without monitors cost the recorder
+            # nothing, and dead servers don't accumulate pending events.
+            self._events.subscribe(self._on_event)
+            self._telemetry_baseline = self._registry.snapshot()
+        self._monitors[session.session_id] = session
+        self._g_monitors.set(len(self._monitors))
+        self._emit("server.monitor_join", monitor=session.session_id, viewer=viewer_id)
+        return session
+
+    def disconnect_monitor(self, session_id: str) -> None:
+        monitor = self._monitors.pop(session_id, None)
+        if monitor is None:
+            raise ServerError(f"unknown monitor session {session_id!r}")
+        self._g_monitors.set(len(self._monitors))
+        if not self._monitors:
+            self._events.unsubscribe(self._on_event)
+            self._pending_events.clear()
+            self._telemetry_baseline = None
+
+    @property
+    def monitor_ids(self) -> tuple[str, ...]:
+        return tuple(self._monitors)
+
+    def _on_event(self, event: Any) -> None:
+        self._pending_events.append(event.to_dict())
+
+    def push_telemetry(self, force: bool = True) -> int:
+        """Send one metric-diff snapshot + buffered events to every monitor.
+
+        Returns the number of monitors reached. Called automatically
+        after networked activity; call directly (or via a trigger) in
+        direct mode. With ``force=False`` the ``telemetry_interval``
+        throttle applies.
+        """
+        if not self._monitors:
+            return 0
+        now = self._now()
+        if not force and self._last_telemetry_at is not None:
+            if now - self._last_telemetry_at < self.telemetry_interval:
+                return 0
+        self._last_telemetry_at = now
+        current = self._registry.snapshot()
+        delta = obs.diff(self._telemetry_baseline or {}, current)
+        self._telemetry_baseline = current
+        events, self._pending_events = self._pending_events, []
+        for monitor in self._monitors.values():
+            if self.network is None:
+                continue
+            self._net_send(
+                monitor.node_id,
+                MessageKind.TELEMETRY,
+                {"session_id": monitor.session_id, "at": now, "diff": delta},
+            )
+            for event in events:
+                self._net_send(
+                    monitor.node_id,
+                    MessageKind.TELEMETRY_EVENT,
+                    {"session_id": monitor.session_id, "event": event},
+                )
+        return len(self._monitors)
+
     def _net_send(
         self, recipient: str, kind: str, body: Any, size_bytes: int | None = None
     ) -> None:
@@ -397,11 +529,23 @@ class InteractionServer:
     def _now(self) -> float:
         return self.network.clock.now if self.network is not None else 0.0
 
+    def _emit(self, name: str, severity: str = "INFO", **fields: Any) -> None:
+        """Flight-recorder emit stamped with the network clock when attached."""
+        at = self.network.clock.now if self.network is not None else None
+        self._events.emit(name, severity=severity, at=at, **fields)
+
     def stats(self) -> dict[str, Any]:
-        """Operational snapshot: rooms, sessions, buffers, engine caches."""
+        """Operational snapshot, read off the metrics registry.
+
+        The counts are the same gauges/counters the telemetry channel
+        exports; room-derived values (frozen components, distinct
+        viewers) are computed from room state because they are not
+        gauge-shaped.
+        """
         return {
-            "sessions": len(self._sessions),
-            "rooms": len(self._rooms),
+            "sessions": int(self._g_sessions.value),
+            "rooms": int(self._g_rooms.value),
+            "monitors": int(self._g_monitors.value),
             "viewers_in_rooms": sum(len(r.viewer_ids) for r in self._rooms.values()),
             "buffered_changes": sum(r.buffer_size for r in self._rooms.values()),
             "frozen_components": sum(
@@ -429,6 +573,11 @@ class InteractionServer:
                 self._net_send(message.sender, MessageKind.ERROR, body)
             else:
                 raise
+        finally:
+            # Telemetry rides on server activity (a scheduled tick would
+            # keep the simulated clock alive forever); the interval
+            # throttle bounds the cost under load.
+            self.push_telemetry(force=False)
 
     def _dispatch(self, sender_node: str, kind: str, payload: dict[str, Any]) -> None:
         if kind == MessageKind.JOIN:
@@ -451,9 +600,24 @@ class InteractionServer:
             if self.network is not None:
                 self._net_send(sender_node, MessageKind.JOIN_ACK, body)
             return
+        if kind == MessageKind.MONITOR:
+            session = self.connect_monitor(payload["viewer_id"], node_id=sender_node)
+            if self.network is not None:
+                self._net_send(
+                    sender_node,
+                    MessageKind.MONITOR_ACK,
+                    {
+                        "session_id": session.session_id,
+                        "interval": self.telemetry_interval,
+                    },
+                )
+            return
         session_id = payload["session_id"]
         if kind == MessageKind.LEAVE:
-            self.disconnect_session(session_id)
+            if session_id in self._monitors:
+                self.disconnect_monitor(session_id)
+            else:
+                self.disconnect_session(session_id)
         elif kind == MessageKind.CHOICE:
             self.handle_choice(
                 session_id, payload["component"], payload["value"],

@@ -24,6 +24,7 @@ class MessageKind:
     RELEASE = "release"
     FETCH_PAYLOAD = "fetch_payload"
     ANNOTATE = "annotate"
+    MONITOR = "monitor"
 
     # server -> client
     JOIN_ACK = "join_ack"
@@ -32,9 +33,18 @@ class MessageKind:
     PAYLOAD = "payload"
     BROADCAST = "broadcast"
     ERROR = "error"
+    MONITOR_ACK = "monitor_ack"
+    TELEMETRY = "telemetry"
+    TELEMETRY_EVENT = "telemetry_event"
 
-    CLIENT_KINDS = (JOIN, LEAVE, CHOICE, OPERATION, FREEZE, RELEASE, FETCH_PAYLOAD, ANNOTATE)
-    SERVER_KINDS = (JOIN_ACK, PRESENTATION_UPDATE, PEER_EVENT, PAYLOAD, BROADCAST, ERROR)
+    CLIENT_KINDS = (
+        JOIN, LEAVE, CHOICE, OPERATION, FREEZE, RELEASE, FETCH_PAYLOAD, ANNOTATE,
+        MONITOR,
+    )
+    SERVER_KINDS = (
+        JOIN_ACK, PRESENTATION_UPDATE, PEER_EVENT, PAYLOAD, BROADCAST, ERROR,
+        MONITOR_ACK, TELEMETRY, TELEMETRY_EVENT,
+    )
 
 
 def encoded_size(payload: Any) -> int:

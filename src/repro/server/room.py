@@ -48,7 +48,13 @@ class Room:
         self.annotations: dict[str, list[dict[str, Any]]] = {}
         obs = get_registry()
         self._m_changes = obs.counter("server.room.changes")
+        # Labelled by room so concurrent rooms stop stomping one shared
+        # gauge; the flat gauge stays as "depth of the last-active room"
+        # for older dashboards.
         self._g_buffer_depth = obs.gauge("server.room.buffer_depth")
+        self._g_buffer_depth_room = obs.gauge_family(
+            "server.room.buffer_depth_by_room", ("room",)
+        ).labels(room_id)
 
     # ----- membership -----------------------------------------------------------
 
@@ -192,6 +198,7 @@ class Room:
         self._changes.append(change)
         self._m_changes.inc()
         self._g_buffer_depth.set(len(self._changes))
+        self._g_buffer_depth_room.set(len(self._changes))
         return change
 
     def changes_since(self, seq: int) -> list[RoomChange]:
@@ -208,10 +215,12 @@ class Room:
         if not self._ack:
             self._changes.clear()
             self._g_buffer_depth.set(0)
+            self._g_buffer_depth_room.set(0)
             return
         low_water = min(self._ack.values())
         self._changes = [c for c in self._changes if c.seq > low_water]
         self._g_buffer_depth.set(len(self._changes))
+        self._g_buffer_depth_room.set(len(self._changes))
 
     @property
     def buffer_size(self) -> int:

@@ -12,6 +12,10 @@ class Session:
     ``node_id`` is the network address; ``viewer_id`` the human identity
     used for permissions and per-viewer presentation state. A session is
     in at most one room at a time (matching the prototype's GUI).
+
+    ``kind`` distinguishes ordinary interactive clients from telemetry
+    monitors — monitor sessions receive metric/event telemetry pushes
+    instead of presentation traffic.
     """
 
     session_id: str
@@ -19,6 +23,11 @@ class Session:
     node_id: str
     room_id: str | None = None
     last_spec: dict[str, dict[str, str]] = field(default_factory=dict)
+    kind: str = "interactive"
+
+    @property
+    def is_monitor(self) -> bool:
+        return self.kind == "monitor"
 
     @property
     def in_room(self) -> bool:

@@ -1,0 +1,130 @@
+"""Client-tier instrumentation: buffer gauges, response histograms,
+registry-backed engine cache counters."""
+
+import pytest
+
+from repro import obs
+from repro.client import ClientBuffer, ClientModule
+from repro.db import Database, MultimediaObjectStore
+from repro.document import build_sample_medical_record
+from repro.net import Link, SimulatedNetwork
+from repro.presentation import PresentationEngine
+from repro.server import InteractionServer
+
+MBPS = 1_000_000
+
+
+@pytest.fixture
+def registry():
+    fresh = obs.MetricsRegistry()
+    with obs.use_registry(fresh):
+        yield fresh
+
+
+class TestBufferInstrumentation:
+    def test_occupancy_gauge_follows_admit_remove_clear(self, registry):
+        buf = ClientBuffer(1000, owner="client-dr-1")
+        gauge = registry.gauge('client.buffer.occupancy_bytes{owner="client-dr-1"}')
+        buf.admit("a", 400)
+        buf.admit("b", 100)
+        assert gauge.value == 500
+        buf.remove("a")
+        assert gauge.value == 100
+        buf.clear()
+        assert gauge.value == 0
+
+    def test_evictions_counted_and_logged(self, registry):
+        log = obs.EventLog()
+        with obs.use_event_log(log):
+            buf = ClientBuffer(500, owner="client-dr-1")
+            buf.admit("old", 300, priority=0.1)
+            buf.admit("new", 300, priority=9.0)  # forces eviction of "old"
+        counter = registry.counter(
+            'client.buffer.evictions{owner="client-dr-1"}'
+        )
+        assert counter.value == 1
+        evictions = log.filter(name="client.buffer.evict")
+        assert len(evictions) == 1
+        assert evictions[0].fields["key"] == "old"
+        assert evictions[0].fields["owner"] == "client-dr-1"
+
+    def test_owners_get_separate_series(self, registry):
+        ClientBuffer(100, owner="client-a").admit("x", 60)
+        ClientBuffer(100, owner="client-b").admit("y", 10)
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]['client.buffer.occupancy_bytes{owner="client-a"}'] == 60
+        assert snapshot["gauges"]['client.buffer.occupancy_bytes{owner="client-b"}'] == 10
+
+    def test_plain_hit_miss_attrs_survive(self, registry):
+        # The prefetch simulator assigns these directly; they must stay
+        # plain ints, not registry-backed properties.
+        buf = ClientBuffer(100)
+        buf.hits = 7
+        buf.misses = 3
+        assert buf.hit_rate == 0.7
+
+
+class TestEngineCacheCounters:
+    def test_properties_are_registry_backed(self, registry):
+        engine = PresentationEngine(build_sample_medical_record())
+        engine.register_viewer("dr-1")
+        engine.presentation_for("dr-1")  # miss
+        engine.presentation_for("dr-1")  # hit
+        assert engine.cache_misses == 1
+        assert engine.cache_hits == 1
+        snapshot = registry.snapshot()
+        assert snapshot["counters"][
+            'presentation.spec_cache.hits{doc="record-17"}'
+        ] == 1
+        assert snapshot["counters"][
+            'presentation.spec_cache.misses{doc="record-17"}'
+        ] == 1
+
+    def test_per_engine_counts_offset_shared_registry(self, registry):
+        first = PresentationEngine(build_sample_medical_record())
+        first.register_viewer("dr-1")
+        first.presentation_for("dr-1")
+        second = PresentationEngine(build_sample_medical_record())
+        second.register_viewer("dr-1")
+        # A new engine over the same doc starts from zero even though the
+        # registry child already carries the first engine's counts.
+        assert second.cache_misses == 0
+        assert second.cache_hits == 0
+        second.presentation_for("dr-1")
+        assert second.cache_misses == 1
+        assert first.cache_misses == 1
+        # The registry series aggregates both engines for the doc.
+        assert registry.counter(
+            'presentation.spec_cache.misses{doc="record-17"}'
+        ).value == 2
+
+
+class TestViewResponseHistogram:
+    def test_view_response_observed_per_viewer(self, registry, tmp_path):
+        db = Database(str(tmp_path / "db"))
+        store = MultimediaObjectStore(db)
+        store.store_document(build_sample_medical_record())
+        network = SimulatedNetwork()
+        InteractionServer(store, network=network)
+        clients = []
+        for name in ("dr-0", "dr-1"):
+            client = ClientModule(name, network=network)
+            network.attach_client(
+                client,
+                downlink=Link(bandwidth_bps=10 * MBPS),
+                uplink=Link(bandwidth_bps=10 * MBPS),
+            )
+            clients.append(client)
+        for client in clients:
+            client.join("record-17")
+        network.run()
+        clients[0].choose("imaging.ct_head", "segmented")
+        network.run()
+        snapshot = registry.snapshot()
+        # The chooser times its own choice->update round trip.
+        hist = snapshot["histograms"]['client.view_response_s{viewer="dr-0"}']
+        assert hist["count"] >= 1
+        assert hist["min"] > 0
+        assert snapshot["histograms"]["client.join_latency_s"]["count"] == 2
+        assert clients[0].response_times  # legacy list still populated
+        db.close()

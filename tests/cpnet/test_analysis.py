@@ -1,6 +1,5 @@
 """Unit tests for the authoring audit."""
 
-import pytest
 
 from repro.cpnet import CPNet, figure2_network
 from repro.cpnet.analysis import audit_network

@@ -8,7 +8,6 @@ from repro.db import (
     Database,
     IMAGE_OBJECTS_TABLE,
     INTEGER,
-    MULTIMEDIA_OBJECTS_TABLE,
     MultimediaObjectStore,
     TEXT,
     TableSchema,

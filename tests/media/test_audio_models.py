@@ -14,7 +14,6 @@ from repro.media.audio import (
     DiagonalGMM,
     SpeakerSpotter,
     WordSpotter,
-    mfcc,
     segment_audio,
     synth_word,
 )

@@ -2,7 +2,6 @@
 (the paper's named future test case)."""
 
 import numpy as np
-import pytest
 
 from repro.media.image import MultiLayerCodec, ct_phantom, psnr, ultrasound_phantom
 

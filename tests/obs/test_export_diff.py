@@ -91,3 +91,37 @@ class TestDiff:
         delta = diff(before, registry.snapshot())
         assert delta["counters"] == {"fresh": 7}
         assert delta["histograms"]["fresh_h"]["count"] == 1
+
+
+class TestGaugesAbsent:
+    def test_gauge_vanishing_is_reported(self):
+        before = {
+            "counters": {},
+            "gauges": {"server.rooms_open": 4, "stable": 1},
+            "histograms": {},
+        }
+        after = {"counters": {}, "gauges": {"stable": 1}, "histograms": {}}
+        delta = diff(before, after)
+        # Last-known value going to absent, not silently dropped.
+        assert delta["gauges_absent"] == {"server.rooms_open": 4}
+        assert delta["gauges"] == {}
+
+    def test_registry_recreated_between_snapshots(self):
+        first = MetricsRegistry()
+        first.gauge("server.sessions_connected").set(3)
+        before = first.snapshot()
+        after = MetricsRegistry().snapshot()  # reset: gauge is gone
+        delta = diff(before, after)
+        assert delta["gauges_absent"] == {"server.sessions_connected": 3}
+
+    def test_key_absent_when_nothing_disappeared(self):
+        registry = _registry()
+        delta = diff(registry.snapshot(), registry.snapshot())
+        assert "gauges_absent" not in delta
+
+    def test_lines_render_absent_gauges(self):
+        delta = diff(
+            {"counters": {}, "gauges": {"g": 7}, "histograms": {}},
+            {"counters": {}, "gauges": {}, "histograms": {}},
+        )
+        assert "gauge g absent last=7" in to_lines(delta)

@@ -114,3 +114,81 @@ class TestTimeit:
             pass
         assert printed and printed[0].startswith("[timeit] quick: ")
         assert obs.trace.last() is not None
+
+
+class TestSpanErrors:
+    def test_successful_span_has_no_error(self):
+        tracer = Tracer()
+        with tracer.span("ok") as span:
+            pass
+        assert span.error is None
+        assert span.to_dict()["error"] is None
+
+    def test_raising_block_records_exception_type(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("doomed") as span:
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert span.error == "ValueError"
+        assert span.end is not None  # still closed
+        assert tracer.last() is span  # still retained
+
+    def test_error_counted_in_registry(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        try:
+            with tracer.span("op"):
+                raise KeyError("x")
+        except KeyError:
+            pass
+        assert registry.counter("trace.op.errors").value == 1
+        assert registry.histogram("trace.op").count == 1  # duration still observed
+
+    def test_nested_error_propagates_through_both_spans(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer") as outer:
+                with tracer.span("inner") as inner:
+                    raise RuntimeError("deep")
+        except RuntimeError:
+            pass
+        assert inner.error == "RuntimeError"
+        assert outer.error == "RuntimeError"
+
+    def test_render_marks_errored_spans(self):
+        clock = SimClock()
+        tracer = Tracer(clock=lambda: clock.now)
+        try:
+            with tracer.span("flaky") as span:
+                raise OSError("disk")
+        except OSError:
+            pass
+        rendered = render_span_tree(span)
+        assert "!error=OSError" in rendered
+
+    def test_listeners_see_finished_spans(self):
+        tracer = Tracer()
+        finished = []
+        listener = tracer.add_listener(finished.append)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [span.name for span in finished] == ["b", "a"]
+        tracer.remove_listener(listener)
+        with tracer.span("c"):
+            pass
+        assert [span.name for span in finished] == ["b", "a"]
+
+    def test_span_ids_unique_and_reset_by_clear(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert (a.span_id, b.span_id) == (1, 2)
+        tracer.clear()
+        with tracer.span("c") as c:
+            pass
+        assert c.span_id == 1

@@ -1,0 +1,131 @@
+"""Slow-op watchdog: budgets, deterministic firing, tracer integration."""
+
+import pytest
+
+from repro.obs.events import WARN, EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.obs.watch import Watchdog
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def rig():
+    clock = FakeClock()
+    log = EventLog(clock=clock)
+    registry = MetricsRegistry()
+    watchdog = Watchdog(event_log=log, registry=registry)
+    return clock, log, registry, watchdog
+
+
+class TestBudgets:
+    def test_within_budget_is_silent(self, rig):
+        clock, log, registry, watchdog = rig
+        watchdog.set_budget("db.select", 0.050)
+        assert watchdog.check("db.select", 0.050) is False  # inclusive budget
+        assert log.events == ()
+        assert registry.snapshot()["counters"] == {}
+
+    def test_violation_emits_one_warn_and_counts(self, rig):
+        clock, log, registry, watchdog = rig
+        watchdog.set_budget("db.select", 0.050)
+        assert watchdog.check("db.select", 0.051) is True
+        events = log.filter(min_severity=WARN)
+        assert len(events) == 1
+        event = events[0]
+        assert event.name == "watch.slow_op"
+        assert event.fields["op"] == "db.select"
+        assert event.fields["budget_s"] == 0.050
+        assert registry.snapshot()["counters"] == {
+            'watch.violations{op="db.select"}': 1
+        }
+
+    def test_unbudgeted_ops_never_fire(self, rig):
+        clock, log, registry, watchdog = rig
+        assert watchdog.check("anything", 1e9) is False
+        assert log.events == ()
+
+    def test_clear_budget(self, rig):
+        clock, log, registry, watchdog = rig
+        watchdog.set_budget("op", 0.01)
+        watchdog.clear_budget("op")
+        assert watchdog.check("op", 1.0) is False
+
+    def test_budget_must_be_positive(self, rig):
+        *_, watchdog = rig
+        with pytest.raises(ValueError):
+            watchdog.set_budget("op", 0.0)
+
+
+class TestTracerIntegration:
+    def test_fires_exactly_once_per_violation_under_sim_clock(self, rig):
+        clock, log, registry, watchdog = rig
+        tracer = Tracer(clock=clock)
+        tracer.add_listener(watchdog.on_span)
+        watchdog.set_budget("server.propagate", 0.100)
+
+        for duration in (0.050, 0.250, 0.080, 0.300):
+            with tracer.span("server.propagate"):
+                clock.advance(duration)
+
+        violations = log.filter(name="watch.slow_op")
+        assert len(violations) == 2  # one per violating span, none repeated
+        assert [event.fields["duration_s"] for event in violations] == [0.25, 0.3]
+        assert registry.counter(
+            'watch.violations{op="server.propagate"}'
+        ).value == 2
+
+    def test_nested_spans_are_budgeted_independently(self, rig):
+        clock, log, registry, watchdog = rig
+        tracer = Tracer(clock=clock)
+        tracer.add_listener(watchdog.on_span)
+        watchdog.set_budget("outer", 10.0)
+        watchdog.set_budget("inner", 0.010)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                clock.advance(0.5)
+        violations = log.filter(name="watch.slow_op")
+        assert [event.fields["op"] for event in violations] == ["inner"]
+
+    def test_deterministic_across_runs(self, rig):
+        clock, log, registry, watchdog = rig
+
+        def run() -> tuple:
+            run_clock = FakeClock()
+            run_log = EventLog(clock=run_clock)
+            run_watchdog = Watchdog(event_log=run_log, registry=MetricsRegistry())
+            run_watchdog.set_budget("op", 0.1)
+            tracer = Tracer(clock=run_clock)
+            tracer.add_listener(run_watchdog.on_span)
+            for duration in (0.05, 0.2, 0.15):
+                with tracer.span("op"):
+                    run_clock.advance(duration)
+            return tuple(event.to_dict() for event in run_log.events)
+
+        assert run() == run()
+
+
+class TestDefaultWiring:
+    def test_package_default_watchdog_listens_to_default_tracer(self):
+        from repro import obs
+
+        log = obs.EventLog()
+        with obs.use_event_log(log):
+            watchdog = obs.get_watchdog()
+            watchdog.set_budget("test.slow_block", 1e-12)
+            try:
+                with obs.trace.span("test.slow_block"):
+                    pass
+                assert [e.name for e in log.events].count("watch.slow_op") == 1
+            finally:
+                watchdog.clear_budget("test.slow_block")

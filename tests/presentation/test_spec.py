@@ -3,7 +3,7 @@
 import pytest
 
 from repro.document import build_sample_medical_record
-from repro.presentation import PresentationSpec, diff_presentations
+from repro.presentation import diff_presentations
 from repro.presentation.spec import build_spec
 
 

@@ -225,6 +225,7 @@ class TestStats:
         assert stats == {
             "sessions": 0,
             "rooms": 0,
+            "monitors": 0,
             "viewers_in_rooms": 0,
             "buffered_changes": 0,
             "frozen_components": 0,

@@ -1,6 +1,5 @@
 """Unit tests for protocol wire-size accounting and sessions."""
 
-import pytest
 
 from repro.server import MessageKind, Session, encoded_size
 

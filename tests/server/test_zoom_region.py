@@ -9,7 +9,7 @@ from repro.document import build_sample_medical_record
 from repro.errors import MediaError, PermissionError_
 from repro.media.image import Image, ct_phantom, zoom
 from repro.net import SimulatedNetwork
-from repro.server import InteractionServer, PermissionPolicy
+from repro.server import InteractionServer
 from repro.server.protocol import MessageKind
 
 
