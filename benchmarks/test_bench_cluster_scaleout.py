@@ -1,0 +1,99 @@
+"""E11 / cluster tier — shard scale-out for concurrent conferences.
+
+The paper's single interaction server caps throughput at one node's
+service capacity. The cluster tier shards rooms across servers behind a
+gateway; this benchmark drives the same multi-room conference workload
+through 1, 2 and 4 shards (identical per-shard service rate) and
+measures propagated choices per simulated second. The acceptance claim:
+two shards sustain strictly more throughput than one.
+"""
+
+import pytest
+
+from conftest import QUICK
+from repro.db import Database, MultimediaObjectStore
+from repro.workloads import run_cluster_conference
+
+SHARD_COUNTS = (1, 2, 4)
+NUM_ROOMS = 4 if QUICK else 8
+CLIENTS_PER_ROOM = 2
+EVENTS_PER_ROOM = 4 if QUICK else 8
+SERVICE_RATE = 200.0  # ops/sec of serial service per shard
+
+
+def run_scaleout(tmp_path, num_shards, tag):
+    db = Database(str(tmp_path / f"db-{tag}"))
+    store = MultimediaObjectStore(db)
+    result = run_cluster_conference(
+        store,
+        num_shards=num_shards,
+        num_rooms=NUM_ROOMS,
+        clients_per_room=CLIENTS_PER_ROOM,
+        events_per_room=EVENTS_PER_ROOM,
+        service_rate=SERVICE_RATE,
+        seed=17,
+    )
+    db.close()
+    return result
+
+
+def test_scaleout_throughput(benchmark, report, tmp_path):
+    results = {n: run_scaleout(tmp_path, n, f"s{n}") for n in SHARD_COUNTS}
+    benchmark.pedantic(
+        run_scaleout, args=(tmp_path, 2, "bench"), rounds=1 if QUICK else 2
+    )
+    rows = []
+    for n in SHARD_COUNTS:
+        r = results[n]
+        rows.append(
+            [
+                n,
+                f"{r['throughput_eps']:.2f}",
+                f"{r['sim_seconds']:.2f}",
+                f"{r['throughput_eps'] / results[1]['throughput_eps']:.2f}x",
+                r["network_bytes"],
+            ]
+        )
+    report.table(
+        f"Cluster scale-out: {NUM_ROOMS} rooms x {CLIENTS_PER_ROOM} viewers, "
+        f"{EVENTS_PER_ROOM} choices/room, {SERVICE_RATE:.0f} ops/s per shard",
+        ["shards", "events/sim-s", "makespan (s)", "speedup", "net bytes"],
+        rows,
+    )
+    for n in SHARD_COUNTS:
+        assert not results[n]["errors"], results[n]["errors"]
+    # The acceptance claim: sharding buys real propagation throughput.
+    assert results[2]["throughput_eps"] > results[1]["throughput_eps"]
+    assert results[4]["throughput_eps"] > results[2]["throughput_eps"]
+
+
+def test_scaleout_balances_rooms(report, tmp_path):
+    result = run_scaleout(tmp_path, 4, "balance")
+    rooms = result["rooms_by_shard"]
+    report.line(f"  room placement across 4 shards: {rooms}")
+    # The consistent-hash ring spreads rooms across shards without any
+    # central allocation table. With only NUM_ROOMS keys the spread is
+    # statistical, so assert no shard hoards the whole conference.
+    assert len(rooms) >= 2
+    assert max(rooms.values()) < NUM_ROOMS
+    assert sum(rooms.values()) == NUM_ROOMS
+
+
+def test_replication_keeps_up(report, tmp_path):
+    """Replication drains fully at quiescence: every shipped op acked."""
+    result = run_scaleout(tmp_path, 2, "repl")
+    harness = result["harness"]
+    shipped = acked = 0
+    for shard in harness.shards.values():
+        for log in shard._ship.values():
+            shipped += log.shipped_seq
+            acked += log.acked_seq
+    report.line(f"  replication at quiescence: shipped={shipped} acked={acked}")
+    assert shipped > 0
+    assert acked == shipped
+
+
+@pytest.mark.skipif(QUICK, reason="timing-only variant")
+def test_gateway_overhead(benchmark, tmp_path):
+    """Wall-clock cost of the 1-shard cluster (gateway routing included)."""
+    benchmark.pedantic(run_scaleout, args=(tmp_path, 1, "overhead"), rounds=2)

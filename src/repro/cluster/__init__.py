@@ -1,0 +1,46 @@
+"""``repro.cluster`` — sharded multi-server conferencing.
+
+The paper's Fig. 1 architecture has exactly one interaction server as
+the hub of the star network, which caps the reproduction at a single
+node's throughput. This package splices a cluster tier between the
+clients and the rooms/DB without changing the client protocol:
+
+* :mod:`repro.cluster.ring` — a consistent-hash ring shards rooms across
+  server nodes with bounded movement on membership change;
+* :mod:`repro.cluster.gateway` — the :class:`Gateway` owns the
+  client-facing links, routes each message to the owning shard, and
+  re-homes sessions transparently on failover;
+* :mod:`repro.cluster.shard` — a :class:`ShardServer` wraps a full
+  :class:`~repro.server.interaction.InteractionServer` behind a
+  bounded-capacity service queue and ships its room ops to replicas;
+* :mod:`repro.cluster.replication` — primary→replica log shipping with
+  acked sequence numbers; replicas replay ops into shadow servers;
+* :mod:`repro.cluster.failover` — simclock-driven heartbeats and the
+  failure detector that triggers deterministic promotion;
+* :mod:`repro.cluster.harness` — one-call wiring of a whole cluster.
+
+Everything runs on the existing ``repro.net`` simulated network and the
+shared :class:`~repro.net.simclock.SimClock`, so cluster behaviour —
+including failover — is deterministic and byte-accounted.
+"""
+
+from repro.cluster.failover import FailureDetector, schedule_periodic
+from repro.cluster.gateway import Gateway
+from repro.cluster.harness import ClusterHarness
+from repro.cluster.replication import LogEntry, ReplicaState, ShipLog
+from repro.cluster.ring import HashRing, ring_hash
+from repro.cluster.shard import ServiceQueue, ShardServer
+
+__all__ = [
+    "ClusterHarness",
+    "FailureDetector",
+    "Gateway",
+    "HashRing",
+    "LogEntry",
+    "ReplicaState",
+    "ServiceQueue",
+    "ShardServer",
+    "ShipLog",
+    "ring_hash",
+    "schedule_periodic",
+]

@@ -1,0 +1,356 @@
+"""The client-facing gateway: routing, session homing, failover control.
+
+The gateway is the hub of the star network — clients keep the exact
+protocol they speak to a single ``InteractionServer``. Behind it, every
+client message is wrapped in a ``ROUTE`` envelope and forwarded to the
+shard owning the target room: ``JOIN`` routes by document id through the
+consistent-hash ring, everything else by the session→shard table learned
+from ``JOIN_ACK`` responses. The gateway also runs the failure detector:
+when a shard's heartbeats stop, it is removed from the ring, a
+``PROMOTE`` order goes to the shard the ring now names as owner (the old
+replica, by construction), and the dead shard's sessions are re-homed —
+clients never see the topology change, only the paused shard.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import obs
+from repro.errors import ClusterError
+from repro.cluster.failover import FailureDetector, schedule_periodic
+from repro.cluster.ring import HashRing
+from repro.cluster.wire import shardbound_size, shardbound_wrapper
+from repro.net.message import Message
+from repro.net.network import SimulatedNetwork
+from repro.obs import LATENCY_BUCKETS
+from repro.server.protocol import MessageKind, encoded_size
+from repro.server.session import Session
+from repro.util.ids import IdGenerator
+
+
+class Gateway:
+    """Owns the client links; shards own the rooms."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        ring: HashRing | None = None,
+        node_id: str = "gateway",
+        failure_timeout: float = 2.0,
+        replication_factor: int = 2,
+    ) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.ring = ring if ring is not None else HashRing()
+        self.replication_factor = replication_factor
+        self.detector = FailureDetector(failure_timeout)
+        self._ids = IdGenerator(namespace=node_id)
+        self._shards: set[str] = set()
+        self._dead: set[str] = set()
+        self._session_route: dict[str, str] = {}  # session -> shard
+        self._session_key: dict[str, str] = {}    # session -> sharding key (doc)
+        self._pending_failover: dict[tuple[str, str], float] = {}
+        #: completed failovers, in order: primary/promoted/started/completed.
+        self.failovers: list[dict[str, Any]] = []
+        registry = obs.get_registry()
+        self._registry = registry
+        self._events = obs.get_event_log()
+        self._m_routed_messages = registry.counter("gateway.routed_messages")
+        self._f_routed_bytes = registry.counter_family(
+            "gateway.routed_bytes", ("shard", "direction")
+        )
+        self._m_route_errors = registry.counter("gateway.route_errors")
+        self._h_failover = registry.histogram(
+            "cluster.failover_duration_s", LATENCY_BUCKETS
+        )
+        self._g_shards = registry.gauge("cluster.shards_live")
+        self._g_sessions = registry.gauge("gateway.sessions_routed")
+        self._g_shards.set(0)
+        self._g_sessions.set(0)
+        # Telemetry monitors (same channel the single server offers).
+        self._monitors: dict[str, Session] = {}
+        self._pending_events: list[dict[str, Any]] = []
+        self._telemetry_baseline: dict[str, Any] | None = None
+        self._last_telemetry_at: float | None = None
+        self.telemetry_interval: float = 0.0
+        network.attach_hub(self)
+
+    # ----- topology ---------------------------------------------------------------
+
+    def register_shard(self, shard_id: str) -> None:
+        """Add a shard to the ring and start watching its heartbeats."""
+        if shard_id in self._shards:
+            raise ClusterError(f"shard {shard_id!r} already registered")
+        self._shards.add(shard_id)
+        self.ring.add_node(shard_id)
+        self.detector.watch(shard_id, self.network.clock.now)
+        self._g_shards.set(len(self.live_shards))
+        self._emit("cluster.shard_registered", shard=shard_id)
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        return tuple(sorted(self._shards))
+
+    @property
+    def live_shards(self) -> tuple[str, ...]:
+        return tuple(sorted(self._shards - self._dead))
+
+    @property
+    def dead_shards(self) -> tuple[str, ...]:
+        return tuple(sorted(self._dead))
+
+    def shard_of_session(self, session_id: str) -> str | None:
+        return self._session_route.get(session_id)
+
+    def owner_of(self, doc_id: str) -> str:
+        """The shard currently serving rooms on *doc_id*."""
+        return self.ring.owner(doc_id)
+
+    # ----- failure detection ------------------------------------------------------
+
+    def start_failure_detection(self, interval: float, until: float) -> None:
+        """Sweep the detector every *interval* seconds up to the horizon."""
+        clock = self.network.clock
+        # Shards registered long before sweeping begins still get a full
+        # timeout from *now* — without this re-arm, the first sweep would
+        # compare against the registration timestamp and declare a healthy
+        # fleet dead before any heartbeat has had a chance to arrive.
+        for node in self.detector.watched:
+            self.detector.beat(node, clock.now)
+
+        def sweep() -> None:
+            for node in self.detector.dead(clock.now):
+                self._handle_failure(node)
+
+        schedule_periodic(clock, interval, until, sweep)
+
+    def _handle_failure(self, shard_id: str) -> None:
+        if shard_id in self._dead or shard_id not in self._shards:
+            return
+        now = self.network.clock.now
+        last_beat = self.detector.last_beat(shard_id)
+        self._dead.add(shard_id)
+        self.detector.forget(shard_id)
+        self.ring.remove_node(shard_id)
+        self._g_shards.set(len(self.live_shards))
+        self._emit(
+            "cluster.shard_dead", severity="WARN", shard=shard_id, last_beat=last_beat
+        )
+        if not len(self.ring):
+            # Whole cluster gone: orphan the sessions loudly.
+            orphans = [s for s, o in self._session_route.items() if o == shard_id]
+            for session_id in orphans:
+                self._session_route.pop(session_id, None)
+                self._session_key.pop(session_id, None)
+            self._g_sessions.set(len(self._session_route))
+            self._emit(
+                "cluster.no_shards_left", severity="ERROR", orphaned=len(orphans)
+            )
+            return
+        # Re-home every session of the dead shard to the ring's new owner
+        # of its room key — by construction the old replica.
+        promotions: dict[str, int] = {}
+        for session_id, owner in self._session_route.items():
+            if owner != shard_id:
+                continue
+            key = self._session_key[session_id]
+            new_owner = self.ring.owner(key)
+            self._session_route[session_id] = new_owner
+            promotions[new_owner] = promotions.get(new_owner, 0) + 1
+        for new_owner in sorted(promotions):
+            body = {"primary": shard_id}
+            self.network.send(
+                self.node_id, new_owner, MessageKind.PROMOTE,
+                payload=body, size_bytes=encoded_size(body),
+            )
+            self._pending_failover[(shard_id, new_owner)] = now
+            self._emit(
+                "cluster.promote_sent",
+                shard=new_owner,
+                primary=shard_id,
+                sessions=promotions[new_owner],
+            )
+
+    def _on_shard_ack(self, shard_id: str, payload: dict[str, Any]) -> None:
+        primary = payload.get("promote")
+        if primary is None:
+            return
+        started = self._pending_failover.pop((primary, shard_id), None)
+        if started is None:
+            return
+        now = self.network.clock.now
+        self._h_failover.observe(now - started)
+        self.failovers.append(
+            {
+                "primary": primary,
+                "promoted": shard_id,
+                "started": started,
+                "completed": now,
+                "sessions": payload.get("sessions", 0),
+            }
+        )
+        self._emit(
+            "cluster.failover_complete",
+            primary=primary,
+            promoted=shard_id,
+            duration=now - started,
+            sessions=payload.get("sessions", 0),
+        )
+
+    # ----- network glue -----------------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        payload = message.payload or {}
+        kind = message.kind
+        try:
+            if kind == MessageKind.HEARTBEAT:
+                self.detector.beat(payload["node"], self.network.clock.now)
+            elif kind == MessageKind.ROUTE:
+                self._forward_to_client(message.sender, payload)
+            elif kind == MessageKind.ACK:
+                self._on_shard_ack(message.sender, payload)
+            elif kind == MessageKind.MONITOR:
+                self._connect_monitor(payload["viewer_id"], message.sender)
+            elif kind == MessageKind.LEAVE and payload.get("session_id") in self._monitors:
+                self._disconnect_monitor(payload["session_id"])
+            elif kind in MessageKind.CLIENT_KINDS:
+                self._route_client(message.sender, kind, payload)
+            else:
+                raise ClusterError(f"unexpected message kind {kind!r} at gateway")
+        except Exception as exc:
+            self._m_route_errors.inc()
+            if self.network.has_node(message.sender) and message.sender not in self._shards:
+                body = {"error": type(exc).__name__, "detail": str(exc)}
+                self.network.send(
+                    self.node_id, message.sender, MessageKind.ERROR,
+                    payload=body, size_bytes=encoded_size(body),
+                )
+            else:
+                raise
+        finally:
+            self.push_telemetry(force=False)
+
+    def _route_client(self, sender_node: str, kind: str, payload: dict[str, Any]) -> None:
+        if kind == MessageKind.JOIN:
+            shard = self.ring.owner(payload["doc_id"])
+        else:
+            session_id = payload.get("session_id")
+            shard = self._session_route.get(session_id)
+            if shard is None:
+                raise ClusterError(f"no shard owns session {session_id!r}")
+        if shard in self._dead or not self.network.has_node(shard):
+            raise ClusterError(f"shard {shard!r} is unavailable")
+        wrapper = shardbound_wrapper(sender_node, kind, payload)
+        size = shardbound_size(wrapper)
+        self.network.send(
+            self.node_id, shard, MessageKind.ROUTE, payload=wrapper, size_bytes=size
+        )
+        self._m_routed_messages.inc()
+        self._f_routed_bytes.labels(shard, "to_shard").inc(size)
+        if kind == MessageKind.LEAVE:
+            session_id = payload.get("session_id")
+            self._session_route.pop(session_id, None)
+            self._session_key.pop(session_id, None)
+            self._g_sessions.set(len(self._session_route))
+
+    def _forward_to_client(self, shard_id: str, wrapper: dict[str, Any]) -> None:
+        to = wrapper["to"]
+        kind = wrapper["kind"]
+        inner = wrapper["payload"]
+        size = wrapper["size"]
+        if kind == MessageKind.JOIN_ACK:
+            self._session_route[inner["session_id"]] = shard_id
+            self._session_key[inner["session_id"]] = inner["doc_id"]
+            self._g_sessions.set(len(self._session_route))
+        if not self.network.has_node(to):
+            self._emit(
+                "gateway.client_gone", severity="WARN", node=to, kind=kind
+            )
+            return
+        self.network.send(self.node_id, to, kind, payload=inner, size_bytes=size)
+        self._m_routed_messages.inc()
+        self._f_routed_bytes.labels(shard_id, "to_client").inc(size)
+
+    # ----- telemetry monitors ------------------------------------------------------
+
+    def _connect_monitor(self, viewer_id: str, node_id: str) -> Session:
+        session = Session(
+            session_id=self._ids.next("monitor"),
+            viewer_id=viewer_id,
+            node_id=node_id,
+            kind="monitor",
+        )
+        if not self._monitors:
+            self._events.subscribe(self._on_event)
+            self._telemetry_baseline = self._registry.snapshot()
+        self._monitors[session.session_id] = session
+        self.network.send(
+            self.node_id, node_id, MessageKind.MONITOR_ACK,
+            payload={
+                "session_id": session.session_id,
+                "interval": self.telemetry_interval,
+            },
+            size_bytes=encoded_size(
+                {"session_id": session.session_id, "interval": self.telemetry_interval}
+            ),
+        )
+        return session
+
+    def _disconnect_monitor(self, session_id: str) -> None:
+        self._monitors.pop(session_id, None)
+        if not self._monitors:
+            self._events.unsubscribe(self._on_event)
+            self._pending_events.clear()
+            self._telemetry_baseline = None
+
+    @property
+    def monitor_ids(self) -> tuple[str, ...]:
+        return tuple(self._monitors)
+
+    def _on_event(self, event: Any) -> None:
+        self._pending_events.append(event.to_dict())
+
+    def push_telemetry(self, force: bool = True) -> int:
+        """Push one metric-diff + buffered events to every monitor."""
+        if not self._monitors:
+            return 0
+        now = self.network.clock.now
+        if not force and self._last_telemetry_at is not None:
+            if now - self._last_telemetry_at < self.telemetry_interval:
+                return 0
+        self._last_telemetry_at = now
+        current = self._registry.snapshot()
+        delta = obs.diff(self._telemetry_baseline or {}, current)
+        self._telemetry_baseline = current
+        events, self._pending_events = self._pending_events, []
+        for monitor in self._monitors.values():
+            if not self.network.has_node(monitor.node_id):
+                continue
+            body = {"session_id": monitor.session_id, "at": now, "diff": delta}
+            self.network.send(
+                self.node_id, monitor.node_id, MessageKind.TELEMETRY,
+                payload=body, size_bytes=encoded_size(body),
+            )
+            for event in events:
+                event_body = {"session_id": monitor.session_id, "event": event}
+                self.network.send(
+                    self.node_id, monitor.node_id, MessageKind.TELEMETRY_EVENT,
+                    payload=event_body, size_bytes=encoded_size(event_body),
+                )
+        return len(self._monitors)
+
+    # ----- misc ---------------------------------------------------------------------
+
+    def _emit(self, name: str, severity: str = "INFO", **fields: Any) -> None:
+        self._events.emit(name, severity=severity, at=self.network.clock.now, **fields)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "shards": sorted(self._shards),
+            "live": list(self.live_shards),
+            "dead": list(self.dead_shards),
+            "sessions_routed": len(self._session_route),
+            "monitors": len(self._monitors),
+            "failovers": len(self.failovers),
+        }

@@ -1,0 +1,158 @@
+"""Convenience wiring for a whole cluster on one simulated network.
+
+One call builds the Fig. 1 star topology with the cluster tier spliced
+in: a gateway hub, N shard servers as backbone nodes, per-client links,
+and (optionally) the heartbeat/detector schedules. Benchmarks, tests and
+examples all build clusters through this so the topology is wired one
+way everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.gateway import Gateway
+from repro.cluster.ring import HashRing
+from repro.cluster.shard import ShardServer
+from repro.client.client import ClientModule
+from repro.client.monitor import TelemetryMonitor
+from repro.db.orm import MultimediaObjectStore
+from repro.errors import ClusterError
+from repro.net.link import Link
+from repro.net.network import SimulatedNetwork
+from repro.net.simclock import SimClock
+from repro.server.permissions import PermissionPolicy
+
+
+class ClusterHarness:
+    """A gateway + shard fleet + clients on one clock."""
+
+    def __init__(
+        self,
+        store: MultimediaObjectStore,
+        num_shards: int = 2,
+        clock: SimClock | None = None,
+        policy: PermissionPolicy | None = None,
+        service_rate: float | None = None,
+        replication_factor: int = 2,
+        failure_timeout: float = 2.0,
+        vnodes: int = 64,
+    ) -> None:
+        if num_shards < 1:
+            raise ClusterError(f"a cluster needs >= 1 shard, got {num_shards}")
+        self.store = store
+        self.network = SimulatedNetwork(clock)
+        self.ring = HashRing(vnodes=vnodes)
+        self.gateway = Gateway(
+            self.network,
+            ring=self.ring,
+            failure_timeout=failure_timeout,
+            replication_factor=replication_factor,
+        )
+        self._policy = policy
+        self._service_rate = service_rate
+        self._replication_factor = replication_factor
+        self.shards: dict[str, ShardServer] = {}
+        self.clients: dict[str, ClientModule] = {}
+        for index in range(num_shards):
+            self.add_shard(f"shard-{index + 1}")
+
+    # ----- topology -----------------------------------------------------------------
+
+    def add_shard(
+        self,
+        shard_id: str,
+        uplink: Link | None = None,
+        downlink: Link | None = None,
+    ) -> ShardServer:
+        shard = ShardServer(
+            shard_id,
+            self.store,
+            self.network,
+            self.gateway.node_id,
+            self.ring,
+            policy=self._policy,
+            service_rate=self._service_rate,
+            replication_factor=self._replication_factor,
+        )
+        self.network.attach_backbone(shard, uplink=uplink, downlink=downlink)
+        self.gateway.register_shard(shard_id)
+        self.shards[shard_id] = shard
+        return shard
+
+    def add_client(
+        self,
+        viewer_id: str,
+        uplink: Link | None = None,
+        downlink: Link | None = None,
+        auto_fetch: bool = True,
+    ) -> ClientModule:
+        client = ClientModule(viewer_id, network=self.network, auto_fetch=auto_fetch)
+        self.network.attach_client(client, uplink=uplink, downlink=downlink)
+        self.clients[viewer_id] = client
+        return client
+
+    def add_monitor(
+        self,
+        viewer_id: str = "monitor",
+        uplink: Link | None = None,
+        downlink: Link | None = None,
+    ) -> TelemetryMonitor:
+        monitor = TelemetryMonitor(viewer_id, network=self.network)
+        self.network.attach_client(monitor, uplink=uplink, downlink=downlink)
+        monitor.connect()
+        return monitor
+
+    # ----- control ------------------------------------------------------------------
+
+    def start(
+        self,
+        until: float,
+        heartbeat_interval: float = 0.5,
+        sweep_interval: float = 0.5,
+    ) -> None:
+        """Run heartbeats + failure sweeps up to the *until* horizon.
+
+        Only needed for failover scenarios — without it nothing keeps the
+        event queue alive and :meth:`run` returns at the last delivery.
+        """
+        for shard in self.shards.values():
+            if shard.alive:
+                shard.start_heartbeats(heartbeat_interval, until)
+        self.gateway.start_failure_detection(sweep_interval, until)
+
+    def crash(self, shard_id: str) -> None:
+        """Fail-stop one shard (it stops processing and heartbeating)."""
+        self.shards[shard_id].crash()
+
+    def run(self) -> int:
+        """Drive the clock until the network is quiescent."""
+        return self.network.run()
+
+    def run_until(self, time: float) -> int:
+        return self.network.clock.run_until(time)
+
+    @property
+    def clock(self) -> SimClock:
+        return self.network.clock
+
+    def owner_of(self, doc_id: str) -> str:
+        return self.ring.owner(doc_id)
+
+    def serving_server_of(self, doc_id: str):
+        """The InteractionServer instance currently serving *doc_id*."""
+        shard = self.shards[self.ring.owner(doc_id)]
+        for server in shard.serving_servers():
+            if server.hosts_document(doc_id):
+                return server
+        return shard.server
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "gateway": self.gateway.stats(),
+            "shards": {sid: shard.stats() for sid, shard in self.shards.items()},
+            "network": {
+                "messages": self.network.stats.messages,
+                "bytes_total": self.network.stats.bytes_total,
+            },
+        }

@@ -1,0 +1,198 @@
+"""Primary→replica room-state replication via op-log shipping.
+
+The primary shard does not ship room *state* — it ships the room *ops*
+(join/leave/choice/operation/annotation/freeze/release) that produced
+the state, stamped with sequence numbers and the primary's clock. The
+replica replays each op against its own shadow ``InteractionServer``
+(same document store, forced primary-minted ids, outbound traffic
+swallowed), so replayed state is byte-identical to the primary's:
+presentation outcomes are deterministic functions of the op sequence.
+Acked sequence numbers flow back (``ACK``); the primary trims its log at
+the ack watermark and exports the ship/ack gap as replication lag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ClusterError
+from repro.db.orm import MultimediaObjectStore
+from repro.server.interaction import InteractionServer
+from repro.server.permissions import PermissionPolicy
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One replicated room op."""
+
+    seq: int
+    at: float        # primary's clock when the op was applied
+    room_key: str    # the sharding key (document id)
+    op: str          # join|leave|choice|operation|annotation|freeze|release
+    data: dict[str, Any]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "at": self.at,
+            "room_key": self.room_key,
+            "op": self.op,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_wire(cls, body: dict[str, Any]) -> LogEntry:
+        return cls(
+            seq=body["seq"],
+            at=body["at"],
+            room_key=body["room_key"],
+            op=body["op"],
+            data=dict(body["data"]),
+        )
+
+
+class ShipLog:
+    """Primary-side log to one replica: entries kept until acked."""
+
+    def __init__(self) -> None:
+        self._entries: list[LogEntry] = []
+        self._next_seq = 1
+        self.shipped_seq = 0
+        self.acked_seq = 0
+
+    def append(self, at: float, room_key: str, op: str, data: dict[str, Any]) -> LogEntry:
+        entry = LogEntry(seq=self._next_seq, at=at, room_key=room_key, op=op, data=data)
+        self._next_seq += 1
+        self._entries.append(entry)
+        return entry
+
+    def mark_shipped(self, seq: int) -> None:
+        self.shipped_seq = max(self.shipped_seq, seq)
+
+    def mark_acked(self, seq: int) -> None:
+        """Advance the ack watermark and discard entries at or below it."""
+        self.acked_seq = max(self.acked_seq, seq)
+        self._entries = [e for e in self._entries if e.seq > self.acked_seq]
+
+    @property
+    def lag(self) -> int:
+        """Ops shipped but not yet acknowledged by the replica."""
+        return self.shipped_seq - self.acked_seq
+
+    def unacked(self) -> list[LogEntry]:
+        return [e for e in self._entries if e.seq <= self.shipped_seq]
+
+    def unshipped(self) -> list[LogEntry]:
+        return [e for e in self._entries if e.seq > self.shipped_seq]
+
+    @property
+    def pending(self) -> int:
+        return len(self._entries)
+
+
+class ReplicaState:
+    """Replica-side mirror of one primary shard, built by op replay.
+
+    ``transport`` is handed to the shadow server as its network; while
+    the state is a standby the transport swallows outbound traffic, and
+    after :meth:`promote` the owning shard switches it live so the same
+    server starts answering real clients (no state copy at failover).
+    """
+
+    def __init__(
+        self,
+        primary_id: str,
+        store: MultimediaObjectStore,
+        policy: PermissionPolicy | None = None,
+        transport: Any | None = None,
+        on_gap: Callable[[int, int], None] | None = None,
+    ) -> None:
+        self.primary_id = primary_id
+        self.applied_seq = 0
+        self.promoted = False
+        #: every entry applied, in order — at promotion this becomes the
+        #: new primary's room history (so *it* can bootstrap replicas).
+        self.applied_log: list[LogEntry] = []
+        self._pending: dict[int, LogEntry] = {}  # out-of-order buffer
+        self._on_gap = on_gap
+        self.server = InteractionServer(
+            store,
+            policy=policy,
+            network=transport,
+            node_id=f"replica:{primary_id}",
+        )
+
+    # ----- replay ---------------------------------------------------------------
+
+    def offer(self, entry: LogEntry) -> int:
+        """Accept one shipped entry; returns how many entries were applied.
+
+        Entries apply strictly in sequence order: a duplicate is ignored,
+        a gap is buffered until the missing entries arrive (links are
+        FIFO, so in practice the buffer only fills while a batch is being
+        torn apart).
+        """
+        if entry.seq <= self.applied_seq:
+            return 0
+        self._pending[entry.seq] = entry
+        applied = 0
+        while self.applied_seq + 1 in self._pending:
+            nxt = self._pending.pop(self.applied_seq + 1)
+            self._apply(nxt)
+            self.applied_seq = nxt.seq
+            self.applied_log.append(nxt)
+            applied += 1
+        return applied
+
+    def _apply(self, entry: LogEntry) -> None:
+        data = entry.data
+        server = self.server
+        if entry.op == "join":
+            server.open_room(entry.room_key, room_id=data["room_id"])
+            server.connect_session(
+                data["viewer_id"],
+                node_id=data["node_id"],
+                session_id=data["session_id"],
+            )
+            server.join_room(data["session_id"], entry.room_key)
+        elif entry.op == "leave":
+            server.disconnect_session(data["session_id"])
+        elif entry.op == "choice":
+            server.handle_choice(
+                data["session_id"], data["component"], data["value"],
+                scope=data.get("scope", "shared"),
+            )
+        elif entry.op == "operation":
+            server.handle_operation(
+                data["session_id"], data["component"], data["operation"],
+                global_importance=data.get("global", False),
+            )
+        elif entry.op == "annotation":
+            server.handle_annotation(
+                data["session_id"], data["component"], data.get("annotation", {})
+            )
+        elif entry.op == "freeze":
+            server.handle_freeze(data["session_id"], data["component"])
+        elif entry.op == "release":
+            server.handle_release(data["session_id"], data["component"])
+        else:
+            raise ClusterError(f"unknown replicated op {entry.op!r}")
+
+    # ----- failover --------------------------------------------------------------
+
+    def promote(self) -> InteractionServer:
+        """Finish replay and hand over the shadow server as the new primary.
+
+        Everything acked is guaranteed applied (acks are sent *after*
+        apply); buffered entries past a gap can never apply safely and
+        are dropped — they were never acked, so no client-visible state
+        is lost.
+        """
+        if self._pending:
+            dropped = sorted(self._pending)
+            if self._on_gap is not None:
+                self._on_gap(self.applied_seq, len(dropped))
+            self._pending.clear()
+        self.promoted = True
+        return self.server

@@ -1,0 +1,474 @@
+"""One cluster shard: a full ``InteractionServer`` behind the gateway.
+
+A shard is a backbone node on the simulated network. It receives
+``ROUTE`` envelopes from the gateway, dispatches the inner client
+message to its interaction server through a bounded-capacity service
+queue (the knob that makes scale-out measurable: one shard saturates at
+``service_rate`` ops/second, two shards at twice that), and routes every
+server response back through the gateway. Successful room ops are
+appended to a per-replica :class:`ShipLog` and shipped as ``REPLICATE``
+batches over backbone peer links; inbound ``REPLICATE`` entries replay
+into standby :class:`ReplicaState` mirrors, which a ``PROMOTE`` order
+turns into live servers without copying any state.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import obs
+from repro.cluster.replication import LogEntry, ReplicaState, ShipLog
+from repro.cluster.ring import HashRing
+from repro.cluster.failover import schedule_periodic
+from repro.cluster.wire import (
+    clientbound_size,
+    clientbound_wrapper,
+)
+from repro.db.orm import MultimediaObjectStore
+from repro.net.message import Message
+from repro.net.network import SimulatedNetwork
+from repro.net.simclock import SimClock
+from repro.server.interaction import InteractionServer
+from repro.server.permissions import PermissionPolicy
+from repro.server.protocol import MessageKind, encoded_size
+
+#: client message kind -> replicated op name (None = read-only, not logged)
+_REPLICATED_OPS = {
+    MessageKind.JOIN: "join",
+    MessageKind.LEAVE: "leave",
+    MessageKind.CHOICE: "choice",
+    MessageKind.OPERATION: "operation",
+    MessageKind.ANNOTATE: "annotation",
+    MessageKind.FREEZE: "freeze",
+    MessageKind.RELEASE: "release",
+}
+
+
+class ServiceQueue:
+    """Serial service model: one op at a time at a fixed ops/second rate.
+
+    ``rate=None`` means infinite capacity (ops dispatch at arrival time,
+    the pre-cluster behaviour). With a rate, each submitted op occupies
+    the server for ``1/rate`` simulated seconds, FIFO — the shard-side
+    twin of what :class:`~repro.net.link.Link` does for wires.
+    """
+
+    def __init__(self, clock: SimClock, rate: float | None = None) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"service rate must be > 0, got {rate}")
+        self._clock = clock
+        self._rate = rate
+        self._busy_until = 0.0
+
+    def submit(self, work) -> None:
+        if self._rate is None:
+            work()
+            return
+        start = max(self._clock.now, self._busy_until)
+        self._busy_until = start + 1.0 / self._rate
+        self._clock.schedule_at(self._busy_until, work)
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+
+class _GatewayTransport:
+    """Network stand-in handed to the shard's primary server.
+
+    The interaction server believes it talks straight to client nodes;
+    every send is really wrapped into a ``ROUTE`` envelope to the
+    gateway, which owns the actual client links.
+    """
+
+    def __init__(self, shard: ShardServer) -> None:
+        self._shard = shard
+
+    @property
+    def clock(self) -> SimClock:
+        return self._shard.network.clock
+
+    def attach_hub(self, node: Any) -> None:  # the gateway is the real hub
+        pass
+
+    def send(
+        self, sender: str, recipient: str, kind: str, payload: Any = None,
+        size_bytes: int = 0,
+    ) -> None:
+        self._shard.route_to_client(recipient, kind, payload, size_bytes)
+
+
+class _StandbyTransport(_GatewayTransport):
+    """Transport of a replica's shadow server: silent until promoted.
+
+    While on standby the replayed server's propagation traffic is
+    swallowed (its clients are served by the primary); after promotion
+    the same transport routes through the owning shard like any primary.
+    """
+
+    def __init__(self, shard: ShardServer) -> None:
+        super().__init__(shard)
+        self.live = False
+
+    def send(
+        self, sender: str, recipient: str, kind: str, payload: Any = None,
+        size_bytes: int = 0,
+    ) -> None:
+        if not self.live:
+            self._shard.observe_standby_send(kind, size_bytes)
+            return
+        super().send(sender, recipient, kind, payload, size_bytes)
+
+
+class ShardServer:
+    """One shard node: primary server + standby replicas + log shipping."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        store: MultimediaObjectStore,
+        network: SimulatedNetwork,
+        gateway_id: str,
+        ring: HashRing,
+        policy: PermissionPolicy | None = None,
+        service_rate: float | None = None,
+        replication_factor: int = 2,
+    ) -> None:
+        self.node_id = shard_id
+        self.network = network
+        self.gateway_id = gateway_id
+        self.ring = ring
+        self.alive = True
+        self.replication_factor = replication_factor
+        self._store = store
+        self._policy = policy
+        self._transport = _GatewayTransport(self)
+        self.server = InteractionServer(
+            store, policy=policy, network=self._transport, node_id=shard_id
+        )
+        self.queue = ServiceQueue(network.clock, service_rate)
+        self._ship: dict[str, ShipLog] = {}          # replica shard -> log
+        self._replicas: dict[str, ReplicaState] = {}  # primary shard -> standby
+        self._promoted: dict[str, InteractionServer] = {}
+        self._session_doc: dict[str, str] = {}        # session -> sharding key
+        #: full op history per room key, in application order — streamed to
+        #: a replica the first time it is asked to mirror that room, so a
+        #: replica assigned mid-conference (the ring moves after a node
+        #: dies) can reconstruct the room instead of replaying from a gap.
+        self._room_history: dict[str, list[tuple[str, dict[str, Any]]]] = {}
+        self._replica_rooms: dict[str, set[str]] = {}  # replica -> bootstrapped keys
+        self._capture: list[tuple[str, Any]] | None = None
+        registry = obs.get_registry()
+        self._events = obs.get_event_log()
+        self._m_ops_in = registry.counter_family("cluster.shard.ops", ("shard",)).labels(
+            shard_id
+        )
+        self._f_repl_ops = registry.counter_family(
+            "cluster.replication.ops", ("shard",)
+        )
+        self._f_repl_bytes = registry.counter_family(
+            "cluster.replication.bytes", ("shard",)
+        )
+        self._f_repl_lag = registry.gauge_family(
+            "cluster.replication.lag", ("shard", "replica")
+        )
+        self._m_repl_applied = registry.counter_family(
+            "cluster.replication.applied", ("replica",)
+        ).labels(shard_id)
+        self._m_standby_bytes = registry.counter("cluster.replica.shadow_bytes")
+        self._m_promotions = registry.counter("cluster.promotions")
+
+    # ----- liveness -------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: detach from the network and go silent (no heartbeats)."""
+        self.alive = False
+        self.network.detach_client(self.node_id)
+        self._events.emit(
+            "cluster.shard_crash",
+            severity="WARN",
+            at=self.network.clock.now,
+            shard=self.node_id,
+        )
+
+    def start_heartbeats(self, interval: float, until: float) -> None:
+        """Beat every *interval* clock seconds up to the *until* horizon."""
+        clock = self.network.clock
+
+        def beat() -> bool:
+            if not self.alive:
+                return False
+            body = {"node": self.node_id, "at": clock.now}
+            self.network.send(
+                self.node_id, self.gateway_id, MessageKind.HEARTBEAT,
+                payload=body, size_bytes=encoded_size(body),
+            )
+            return True
+
+        schedule_periodic(clock, interval, until, beat)
+
+    # ----- network glue ----------------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        if not self.alive:
+            return
+        payload = message.payload or {}
+        if message.kind == MessageKind.ROUTE:
+            sender = payload["sender"]
+            kind = payload["kind"]
+            inner = payload["payload"]
+            self.queue.submit(lambda: self._handle_client(sender, kind, inner))
+        elif message.kind == MessageKind.REPLICATE:
+            self._handle_replicate(message.sender, payload)
+        elif message.kind == MessageKind.ACK:
+            self._handle_ack(message.sender, payload)
+        elif message.kind == MessageKind.PROMOTE:
+            self._handle_promote(payload["primary"])
+        else:
+            raise_kind = message.kind
+            self._events.emit(
+                "cluster.shard_bad_kind",
+                severity="ERROR",
+                at=self.network.clock.now,
+                shard=self.node_id,
+                kind=raise_kind,
+            )
+
+    # ----- client ops -------------------------------------------------------------
+
+    def _handle_client(self, sender_node: str, kind: str, payload: dict[str, Any]) -> None:
+        if not self.alive:
+            return
+        self._m_ops_in.inc()
+        target = self._server_for(kind, payload)
+        self._capture = []
+        try:
+            target.receive(
+                Message(
+                    sender=sender_node, recipient=self.node_id,
+                    kind=kind, payload=payload, size_bytes=0,
+                )
+            )
+        finally:
+            captured, self._capture = self._capture, None
+        if any(k == MessageKind.ERROR for k, _ in captured):
+            return
+        self._replicate_op(sender_node, kind, payload, captured)
+
+    def _server_for(self, kind: str, payload: dict[str, Any]) -> InteractionServer:
+        """Pick the serving instance: the primary, or a promoted takeover."""
+        if kind == MessageKind.JOIN:
+            doc_id = payload["doc_id"]
+            if self.server.hosts_document(doc_id):
+                return self.server
+            for promoted in self._promoted.values():
+                if promoted.hosts_document(doc_id):
+                    return promoted
+            return self.server
+        session_id = payload.get("session_id")
+        if session_id is not None and not self.server.has_session(session_id):
+            for promoted in self._promoted.values():
+                if promoted.has_session(session_id):
+                    return promoted
+        return self.server  # unknown sessions error out here, routed back
+
+    def route_to_client(
+        self, recipient: str, kind: str, payload: Any, size_bytes: int
+    ) -> None:
+        """Wrap one server→client send into a ROUTE envelope to the gateway."""
+        if self._capture is not None:
+            self._capture.append((kind, payload))
+        if not self.alive:
+            return
+        wrapper = clientbound_wrapper(recipient, kind, payload, size_bytes)
+        self.network.send(
+            self.node_id, self.gateway_id, MessageKind.ROUTE,
+            payload=wrapper, size_bytes=clientbound_size(wrapper),
+        )
+
+    def observe_standby_send(self, kind: str, size_bytes: int) -> None:
+        """Standby replicas swallow propagation; count what never hit a wire."""
+        if self._capture is not None:
+            self._capture.append((kind, None))
+        self._m_standby_bytes.inc(size_bytes)
+
+    # ----- replication: primary side ------------------------------------------------
+
+    def _replicate_op(
+        self,
+        sender_node: str,
+        kind: str,
+        payload: dict[str, Any],
+        captured: list[tuple[str, Any]],
+    ) -> None:
+        op = _REPLICATED_OPS.get(kind)
+        if op is None:
+            return  # read-only traffic (fetches, monitor)
+        if op == "join":
+            ack = next((p for k, p in captured if k == MessageKind.JOIN_ACK), None)
+            if ack is None:
+                return  # monitor LEAVE etc. never produce a join ack
+            room_key = payload["doc_id"]
+            data = {
+                "session_id": ack["session_id"],
+                "room_id": ack["room_id"],
+                "viewer_id": payload["viewer_id"],
+                "node_id": sender_node,
+            }
+            self._session_doc[ack["session_id"]] = room_key
+        else:
+            session_id = payload["session_id"]
+            room_key = self._session_doc.get(session_id)
+            if room_key is None:
+                return  # session unknown to the cluster tier (monitor session)
+            data = dict(payload)
+            if op == "leave":
+                self._session_doc.pop(session_id, None)
+        now = self.network.clock.now
+        history = self._room_history.setdefault(room_key, [])
+        for replica_id in self.replicas_for(room_key):
+            log = self._ship.setdefault(replica_id, ShipLog())
+            seen = self._replica_rooms.setdefault(replica_id, set())
+            entries = []
+            if room_key not in seen:
+                # First op this replica sees for the room: prefix the
+                # room's full history so the replay starts from genesis.
+                seen.add(room_key)
+                for past_op, past_data in history:
+                    entries.append(log.append(now, room_key, past_op, past_data))
+            entries.append(log.append(now, room_key, op, data))
+            self._ship_entries(replica_id, log, entries)
+        history.append((op, data))
+
+    def replicas_for(self, room_key: str) -> list[str]:
+        """Live replica shards for one room, per the ring preference list."""
+        owners = self.ring.owners(room_key, self.replication_factor)
+        return [
+            node
+            for node in owners[1:]
+            if node != self.node_id and self.network.has_node(node)
+        ]
+
+    def _ship_entries(self, replica_id: str, log: ShipLog, entries: list[LogEntry]) -> None:
+        body = {
+            "primary": self.node_id,
+            "entries": [entry.to_wire() for entry in entries],
+        }
+        size = encoded_size(body)
+        self.network.send(
+            self.node_id, replica_id, MessageKind.REPLICATE,
+            payload=body, size_bytes=size,
+        )
+        log.mark_shipped(entries[-1].seq)
+        self._f_repl_ops.labels(self.node_id).inc(len(entries))
+        self._f_repl_bytes.labels(self.node_id).inc(size)
+        self._f_repl_lag.labels(self.node_id, replica_id).set(log.lag)
+
+    def _handle_ack(self, replica_id: str, payload: dict[str, Any]) -> None:
+        log = self._ship.get(replica_id)
+        if log is None:
+            return
+        log.mark_acked(payload["seq"])
+        self._f_repl_lag.labels(self.node_id, replica_id).set(log.lag)
+
+    def replication_lag(self, replica_id: str) -> int:
+        log = self._ship.get(replica_id)
+        return log.lag if log is not None else 0
+
+    # ----- replication: replica side -------------------------------------------------
+
+    def _handle_replicate(self, primary_id: str, payload: dict[str, Any]) -> None:
+        state = self._replicas.get(primary_id)
+        if state is None:
+            state = self._replicas[primary_id] = ReplicaState(
+                primary_id,
+                self._store,
+                policy=self._policy,
+                transport=_StandbyTransport(self),
+                on_gap=self._on_replay_gap,
+            )
+        applied = 0
+        for body in payload.get("entries", []):
+            applied += state.offer(LogEntry.from_wire(body))
+        if applied:
+            self._m_repl_applied.inc(applied)
+        ack = {"seq": state.applied_seq, "replica": self.node_id}
+        if self.network.has_node(primary_id):
+            self.network.send(
+                self.node_id, primary_id, MessageKind.ACK,
+                payload=ack, size_bytes=encoded_size(ack),
+            )
+
+    def _on_replay_gap(self, applied_seq: int, dropped: int) -> None:
+        self._events.emit(
+            "cluster.replay_gap",
+            severity="WARN",
+            at=self.network.clock.now,
+            shard=self.node_id,
+            applied_seq=applied_seq,
+            dropped=dropped,
+        )
+
+    # ----- failover ------------------------------------------------------------------
+
+    def _handle_promote(self, primary_id: str) -> None:
+        """Gateway order: take over the dead primary's rooms and sessions."""
+        state = self._replicas.pop(primary_id, None)
+        sessions = 0
+        if state is not None:
+            server = state.promote()
+            server.network.live = True  # the _StandbyTransport goes live
+            self._promoted[primary_id] = server
+            # Inherit the replayed ops as this shard's history for the
+            # taken-over rooms: the new primary must be able to bootstrap
+            # *its* replicas (the ring will name one on the next op).
+            for entry in state.applied_log:
+                self._room_history.setdefault(entry.room_key, []).append(
+                    (entry.op, entry.data)
+                )
+            for session_id in server.session_ids:
+                session = server.session(session_id)
+                if session.room_id is not None:
+                    room = server.room(session.room_id)
+                    self._session_doc[session_id] = room.document.doc_id
+                    sessions += 1
+        self._m_promotions.inc()
+        self._events.emit(
+            "cluster.promoted",
+            at=self.network.clock.now,
+            shard=self.node_id,
+            primary=primary_id,
+            sessions=sessions,
+        )
+        body = {"promote": primary_id, "sessions": sessions}
+        self.network.send(
+            self.node_id, self.gateway_id, MessageKind.ACK,
+            payload=body, size_bytes=encoded_size(body),
+        )
+
+    # ----- introspection ----------------------------------------------------------------
+
+    @property
+    def promoted_primaries(self) -> tuple[str, ...]:
+        return tuple(sorted(self._promoted))
+
+    def serving_servers(self) -> list[InteractionServer]:
+        """The primary plus every promoted takeover (live serving state)."""
+        return [self.server, *self._promoted.values()]
+
+    def standby_for(self, primary_id: str) -> ReplicaState | None:
+        return self._replicas.get(primary_id)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "shard": self.node_id,
+            "alive": self.alive,
+            "rooms": sum(len(s.room_ids) for s in self.serving_servers()),
+            "sessions": sum(len(s.session_ids) for s in self.serving_servers()),
+            "standby_primaries": sorted(self._replicas),
+            "promoted_primaries": sorted(self._promoted),
+            "replication": {
+                replica: {"shipped": log.shipped_seq, "acked": log.acked_seq, "lag": log.lag}
+                for replica, log in sorted(self._ship.items())
+            },
+        }

@@ -1,0 +1,33 @@
+"""Honest wire sizing for gateway↔shard ``ROUTE`` envelopes.
+
+A routed message is charged its envelope header plus the *declared* size
+of the inner message — which for ``PAYLOAD`` messages exceeds the JSON
+encoding (media bytes are charged at presentation size, exactly as on
+the client links). Nothing crosses a backbone link at a made-up size.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.server.protocol import encoded_size
+
+
+def shardbound_wrapper(sender: str, kind: str, payload: Any) -> dict[str, Any]:
+    """Gateway→shard envelope around one client message."""
+    return {"sender": sender, "kind": kind, "payload": payload}
+
+
+def shardbound_size(wrapper: dict[str, Any]) -> int:
+    header = {"sender": wrapper["sender"], "kind": wrapper["kind"]}
+    return encoded_size(header) + encoded_size(wrapper["payload"])
+
+
+def clientbound_wrapper(to: str, kind: str, payload: Any, size: int) -> dict[str, Any]:
+    """Shard→gateway envelope around one server response."""
+    return {"to": to, "kind": kind, "size": size, "payload": payload}
+
+
+def clientbound_size(wrapper: dict[str, Any]) -> int:
+    header = {"to": wrapper["to"], "kind": wrapper["kind"], "size": wrapper["size"]}
+    return encoded_size(header) + wrapper["size"]

@@ -78,6 +78,10 @@ class FrozenObjectError(ServerError):
     """The multimedia object is frozen by another participant."""
 
 
+class ClusterError(ReproError):
+    """Base class for cluster-tier errors (ring, gateway, replication)."""
+
+
 class ClientError(ReproError):
     """Base class for client-module errors."""
 

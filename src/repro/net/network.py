@@ -54,6 +54,8 @@ class SimulatedNetwork:
         self._uplinks: dict[str, Link] = {}    # node -> hub
         self._downlinks: dict[str, Link] = {}  # hub -> node
         self._hub_id: str | None = None
+        self._backbone: set[str] = set()
+        self._peer_links: dict[tuple[str, str], Link] = {}  # (from, to)
         self.stats = NetworkStats()
         self._obs = get_registry()
         self._events = get_event_log()
@@ -93,12 +95,29 @@ class SimulatedNetwork:
             f"net.link.{node.node_id}.down.bytes"
         )
 
+    def attach_backbone(
+        self,
+        node: Node,
+        uplink: Link | None = None,
+        downlink: Link | None = None,
+    ) -> None:
+        """Register a backbone node (a cluster shard server).
+
+        Backbone nodes get hub links like clients, and may additionally
+        exchange traffic with *each other* over dedicated peer links —
+        the replication path of the cluster tier. Ordinary clients still
+        only ever talk to the hub.
+        """
+        self.attach_client(node, uplink=uplink, downlink=downlink)
+        self._backbone.add(node.node_id)
+
     def detach_client(self, node_id: str) -> None:
         if node_id == self._hub_id:
             raise NetworkError("cannot detach the hub")
         self._nodes.pop(node_id, None)
         self._uplinks.pop(node_id, None)
         self._downlinks.pop(node_id, None)
+        self._backbone.discard(node_id)
 
     @property
     def hub_id(self) -> str:
@@ -108,7 +127,31 @@ class SimulatedNetwork:
 
     @property
     def client_ids(self) -> tuple[str, ...]:
-        return tuple(n for n in self._nodes if n != self._hub_id)
+        return tuple(
+            n for n in self._nodes if n != self._hub_id and n not in self._backbone
+        )
+
+    @property
+    def backbone_ids(self) -> tuple[str, ...]:
+        return tuple(n for n in self._nodes if n in self._backbone)
+
+    def has_node(self, node_id: str) -> bool:
+        """True while *node_id* is attached (backbone senders guard on this)."""
+        return node_id in self._nodes
+
+    def set_peer_link(self, sender: str, recipient: str, link: Link) -> None:
+        """Install a custom directed backbone link (default: a fresh Link)."""
+        if sender not in self._backbone or recipient not in self._backbone:
+            raise NetworkError(
+                f"peer links connect backbone nodes, got {sender!r}->{recipient!r}"
+            )
+        self._peer_links[(sender, recipient)] = link
+
+    def _peer_link(self, sender: str, recipient: str) -> Link:
+        key = (sender, recipient)
+        if key not in self._peer_links:
+            self._peer_links[key] = Link()
+        return self._peer_links[key]
 
     def node(self, node_id: str) -> Node:
         try:
@@ -155,9 +198,13 @@ class SimulatedNetwork:
         elif recipient == hub and sender != hub:
             link = self.uplink(sender)
             link_bytes = self._m_link_up[sender]
+        elif sender in self._backbone and recipient in self._backbone:
+            link = self._peer_link(sender, recipient)
+            link_bytes = self._obs.counter(f"net.peer.{sender}.{recipient}.bytes")
         else:
             raise NetworkError(
-                f"only hub<->client traffic is modelled, got {sender!r}->{recipient!r}"
+                f"only hub<->client and backbone peer traffic is modelled, "
+                f"got {sender!r}->{recipient!r}"
             )
         message = Message(
             sender=sender, recipient=recipient, kind=kind,

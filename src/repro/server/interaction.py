@@ -55,7 +55,9 @@ class InteractionServer:
         self.diff_propagation = diff_propagation
         self.use_profiles = use_profiles
         self._profiles: dict[str, Any] = {}
-        self._ids = IdGenerator()
+        # Ids are namespaced by node_id: two servers (cluster shards) can
+        # never mint colliding room/session ids at the gateway.
+        self._ids = IdGenerator(namespace=node_id)
         self._sessions: dict[str, Session] = {}
         self._rooms: dict[str, Room] = {}
         self._rooms_by_doc: dict[str, str] = {}
@@ -104,9 +106,19 @@ class InteractionServer:
 
     # ----- sessions -----------------------------------------------------------------
 
-    def connect_session(self, viewer_id: str, node_id: str | None = None) -> Session:
+    def connect_session(
+        self,
+        viewer_id: str,
+        node_id: str | None = None,
+        session_id: str | None = None,
+    ) -> Session:
+        """Create a session; *session_id* forces the id (replication replay)."""
+        if session_id is None:
+            session_id = self._ids.next("session")
+        elif session_id in self._sessions:
+            raise ServerError(f"session id {session_id!r} already connected")
         session = Session(
-            session_id=self._ids.next("session"),
+            session_id=session_id,
             viewer_id=viewer_id,
             node_id=node_id if node_id is not None else viewer_id,
         )
@@ -135,6 +147,13 @@ class InteractionServer:
     def session_ids(self) -> tuple[str, ...]:
         return tuple(self._sessions)
 
+    def has_session(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def session(self, session_id: str) -> Session:
+        """Public session lookup (the cluster tier re-homes sessions by it)."""
+        return self._session(session_id)
+
     # ----- rooms ----------------------------------------------------------------------
 
     @property
@@ -147,12 +166,20 @@ class InteractionServer:
         except KeyError:
             raise RoomError(f"no room {room_id!r}") from None
 
-    def open_room(self, doc_id: str) -> Room:
-        """Bring a document from the database into a (new or existing) room."""
+    def hosts_document(self, doc_id: str) -> bool:
+        """True while a room is open on *doc_id*."""
+        return doc_id in self._rooms_by_doc
+
+    def open_room(self, doc_id: str, room_id: str | None = None) -> Room:
+        """Bring a document from the database into a (new or existing) room.
+
+        *room_id* forces the id of a newly opened room — replication
+        replay uses it so a replica's rooms carry the primary's ids.
+        """
         if doc_id in self._rooms_by_doc:
             return self._rooms[self._rooms_by_doc[doc_id]]
         document = self.store.fetch_document(doc_id)
-        room = Room(self._ids.next("room"), document)
+        room = Room(room_id if room_id is not None else self._ids.next("room"), document)
         self._rooms[room.room_id] = room
         self._rooms_by_doc[doc_id] = room.room_id
         self._g_rooms.set(len(self._rooms))

@@ -37,6 +37,14 @@ class MessageKind:
     TELEMETRY = "telemetry"
     TELEMETRY_EVENT = "telemetry_event"
 
+    # server <-> server (the repro.cluster tier): gateway-to-shard message
+    # forwarding, primary-to-replica log shipping, and liveness/failover.
+    ROUTE = "route"
+    REPLICATE = "replicate"
+    ACK = "ack"
+    HEARTBEAT = "heartbeat"
+    PROMOTE = "promote"
+
     CLIENT_KINDS = (
         JOIN, LEAVE, CHOICE, OPERATION, FREEZE, RELEASE, FETCH_PAYLOAD, ANNOTATE,
         MONITOR,
@@ -45,6 +53,7 @@ class MessageKind:
         JOIN_ACK, PRESENTATION_UPDATE, PEER_EVENT, PAYLOAD, BROADCAST, ERROR,
         MONITOR_ACK, TELEMETRY, TELEMETRY_EVENT,
     )
+    CLUSTER_KINDS = (ROUTE, REPLICATE, ACK, HEARTBEAT, PROMOTE)
 
 
 def encoded_size(payload: Any) -> int:

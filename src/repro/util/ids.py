@@ -18,16 +18,25 @@ class IdGenerator:
     Each :class:`IdGenerator` keeps an independent counter per prefix, so a
     fresh generator always restarts numbering — which is what simulations
     want for reproducibility.
+
+    With a *namespace* every id is prefixed ``"<namespace>:"`` — two
+    generators with distinct namespaces can never mint the same id, which
+    is what keeps room/session ids from different ``InteractionServer``
+    instances collision-free at the cluster gateway.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, namespace: str | None = None) -> None:
+        self.namespace = namespace
         self._counters: dict[str, itertools.count] = defaultdict(lambda: itertools.count(1))
         self._lock = threading.Lock()
 
     def next(self, prefix: str) -> str:
         """Return the next id for *prefix*."""
         with self._lock:
-            return f"{prefix}-{next(self._counters[prefix])}"
+            number = next(self._counters[prefix])
+        if self.namespace is not None:
+            return f"{self.namespace}:{prefix}-{number}"
+        return f"{prefix}-{number}"
 
     def reset(self) -> None:
         """Restart every counter at 1."""

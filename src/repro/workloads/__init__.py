@@ -5,9 +5,12 @@
   benchmarks);
 * :mod:`repro.workloads.sessions` — scripted viewer behaviour: sequences
   of presentation choices that are mostly preference-plausible with a
-  controllable fraction of surprises (what the prefetch study replays).
+  controllable fraction of surprises (what the prefetch study replays);
+* :mod:`repro.workloads.cluster` — many concurrent consultations driven
+  through a sharded cluster (the scale-out benchmark's scenario).
 """
 
+from repro.workloads.cluster import run_cluster_conference
 from repro.workloads.records import generate_record, generate_record_corpus
 from repro.workloads.sessions import consultation_events, random_choice_events
 
@@ -16,4 +19,5 @@ __all__ = [
     "generate_record",
     "generate_record_corpus",
     "random_choice_events",
+    "run_cluster_conference",
 ]

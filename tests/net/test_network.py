@@ -73,6 +73,84 @@ class TestTopology:
             network.hub_id
 
 
+def add_backbone(net, name):
+    node = Recorder(name)
+    node.attach(net)
+    net.attach_backbone(node, uplink=Link(), downlink=Link())
+    return node
+
+
+class TestBackbone:
+    def test_backbone_nodes_are_not_clients(self, net):
+        add_backbone(net, "shard-1")
+        add_client(net, "c1")
+        assert net.backbone_ids == ("shard-1",)
+        assert net.client_ids == ("c1",)
+
+    def test_backbone_peers_may_exchange_traffic(self, net):
+        add_backbone(net, "shard-1")
+        peer = add_backbone(net, "shard-2")
+        net.send("shard-1", "shard-2", "replicate", payload={"seq": 1}, size_bytes=64)
+        net.run()
+        assert len(peer.received) == 1
+        assert peer.received[0][1].payload == {"seq": 1}
+
+    def test_client_to_client_still_rejected(self, net):
+        add_backbone(net, "shard-1")
+        add_client(net, "c1")
+        add_client(net, "c2")
+        with pytest.raises(NetworkError, match="hub<->client"):
+            net.send("c1", "c2", "chat")
+        with pytest.raises(NetworkError, match="hub<->client"):
+            net.send("c1", "shard-1", "chat")  # client->backbone is not a path
+
+    def test_detach_backbone(self, net):
+        add_backbone(net, "shard-1")
+        net.detach_client("shard-1")
+        assert net.backbone_ids == ()
+        assert not net.has_node("shard-1")
+
+    def test_has_node(self, net):
+        add_backbone(net, "shard-1")
+        add_client(net, "c1")
+        assert net.has_node("shard-1") and net.has_node("c1") and net.has_node("server")
+        assert not net.has_node("ghost")
+
+    def test_peer_traffic_is_byte_counted(self, net):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            network = SimulatedNetwork()
+            hub = Recorder("gw")
+            hub.attach(network)
+            network.attach_hub(hub)
+            a = Recorder("s1")
+            a.attach(network)
+            network.attach_backbone(a)
+            b = Recorder("s2")
+            b.attach(network)
+            network.attach_backbone(b)
+            network.send("s1", "s2", "replicate", size_bytes=500)
+            network.run()
+            counters = registry.snapshot()["counters"]
+            assert counters["net.peer.s1.s2.bytes"] == 500
+
+    def test_explicit_peer_link_shapes_traffic(self, net):
+        add_backbone(net, "shard-1")
+        peer = add_backbone(net, "shard-2")
+        net.set_peer_link(
+            "shard-1", "shard-2", Link(bandwidth_bps=1 * MBPS, latency_s=0.0)
+        )
+        net.send("shard-1", "shard-2", "replicate", size_bytes=125_000)
+        net.run()
+        assert peer.received[0][0] == pytest.approx(1.0)
+
+    def test_peer_link_requires_backbone_ends(self, net):
+        add_backbone(net, "shard-1")
+        add_client(net, "c1")
+        with pytest.raises(NetworkError, match="backbone"):
+            net.set_peer_link("shard-1", "c1", Link())
+
+
 class TestDelivery:
     def test_hub_to_client(self, net):
         client = add_client(net, "c1", latency=0.25)

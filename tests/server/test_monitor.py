@@ -157,7 +157,7 @@ class TestTelemetryDelivery:
         combined = monitor.combined()
         assert combined["counters"]["server.choices"] == 2
         assert combined["counters"][
-            'server.propagation.room_bytes{room="room-1",mode="diff"}'
+            'server.propagation.room_bytes{room="server:room-1",mode="diff"}'
         ] > 0
         assert 'client.view_response_s{viewer="dr-0"}' in combined["histograms"]
 

@@ -38,8 +38,25 @@ class TestMessageKinds:
         assert not set(MessageKind.CLIENT_KINDS) & set(MessageKind.SERVER_KINDS)
 
     def test_all_kinds_distinct(self):
-        kinds = MessageKind.CLIENT_KINDS + MessageKind.SERVER_KINDS
+        kinds = (
+            MessageKind.CLIENT_KINDS
+            + MessageKind.SERVER_KINDS
+            + MessageKind.CLUSTER_KINDS
+        )
         assert len(set(kinds)) == len(kinds)
+
+    def test_cluster_kinds_are_backbone_only(self):
+        # Cluster traffic never masquerades as client or server protocol.
+        cluster = set(MessageKind.CLUSTER_KINDS)
+        assert not cluster & set(MessageKind.CLIENT_KINDS)
+        assert not cluster & set(MessageKind.SERVER_KINDS)
+        assert {
+            MessageKind.ROUTE,
+            MessageKind.REPLICATE,
+            MessageKind.ACK,
+            MessageKind.HEARTBEAT,
+            MessageKind.PROMOTE,
+        } == cluster
 
 
 class TestSession:

@@ -27,6 +27,24 @@ class TestIdGenerator:
         second = new_id("unittest-prefix")
         assert first != second
 
+    def test_default_generator_is_unnamespaced(self):
+        # Single-server deployments keep the paper's bare ids.
+        assert IdGenerator().next("room") == "room-1"
+
+    def test_namespaced_ids_carry_the_node(self):
+        gen = IdGenerator(namespace="shard-1")
+        assert gen.next("session") == "shard-1:session-1"
+        assert gen.next("session") == "shard-1:session-2"
+
+    def test_namespaced_generators_cannot_collide(self):
+        # The cluster bug this guards: two InteractionServers both minting
+        # "session-1" would collide in the gateway's routing table.
+        first = IdGenerator(namespace="shard-1")
+        second = IdGenerator(namespace="shard-2")
+        minted = [first.next("session") for _ in range(50)]
+        minted += [second.next("session") for _ in range(50)]
+        assert len(set(minted)) == len(minted)
+
     def test_thread_safety(self):
         import threading
 
