@@ -1,0 +1,162 @@
+"""A tour of ``repro.chaos``: seeded faults, repair, and convergence.
+
+Act one puts a two-physician consultation on a wire that drops and
+corrupts a quarter of the server's presentation updates — with the
+reliable transport OFF. The viewers' displays silently diverge: the
+paper's shared-view invariant is broken and nobody gets an error.
+
+Act two replays the *same seeded fault plan* with the reliable
+transport ON. Checksums quarantine the corrupted frames, the ACK loop
+retransmits the dropped ones, per-sender sequence numbers put the
+survivors back in order — and the displays come out byte-identical.
+
+Act three cuts one viewer off the network entirely for a second, in the
+middle of the conference. The transport parks the frames, backs off,
+and repairs the conversation when the partition heals; the flight
+recorder shows the window opening and closing.
+
+Act four runs the acceptance gate that CI enforces: a full clustered
+conference (loss + duplication + reordering + corruption + a partition
++ a primary crash) under several seeds, each required to end
+byte-identical to its fault-free control.
+
+Run:  python examples/chaos_tour.py
+"""
+
+import tempfile
+
+from repro import obs
+from repro.chaos import ChaosNetwork, FaultPlan
+from repro.chaos.convergence import run_convergence
+from repro.client import ClientModule
+from repro.db import Database, MultimediaObjectStore
+from repro.document import build_sample_medical_record
+from repro.net import Link
+from repro.net.link import MBPS
+from repro.server import InteractionServer
+from repro.server.protocol import MessageKind
+
+#: The consultation script both acts replay.
+SCRIPT = [
+    ("imaging.ct_head", "segmented"),
+    ("labs", "hidden"),
+    ("consult.voice_note", "transcript"),
+    ("imaging.ct_head", "icon"),
+    ("labs", "shown"),
+    ("consult.referral_letter", "full"),
+]
+
+
+def lossy_plan(seed=7):
+    """Drop or corrupt a good fraction of server->client updates."""
+    return FaultPlan(
+        seed=seed,
+        drop_rate=0.2,
+        corrupt_rate=0.1,
+        dup_rate=0.1,
+        reorder_rate=0.15,
+        kinds=(MessageKind.PRESENTATION_UPDATE, MessageKind.PEER_EVENT),
+    )
+
+
+def run_consultation(workdir, name, plan, reliability):
+    """One scripted two-viewer consultation over a chaos network."""
+    db = Database(f"{workdir}/{name}")
+    store = MultimediaObjectStore(db)
+    store.store_document(build_sample_medical_record())
+    network = ChaosNetwork(reliability=reliability, plan=plan)
+    InteractionServer(store, network=network)
+    lee = ClientModule("lee", network=network)
+    cho = ClientModule("cho", network=network)
+    for client in (lee, cho):
+        network.attach_client(
+            client,
+            downlink=Link(bandwidth_bps=50 * MBPS),
+            uplink=Link(bandwidth_bps=50 * MBPS),
+        )
+        client.join("record-17")
+    network.run()
+    for component, value in SCRIPT:
+        lee.choose(component, value)
+        network.run()
+    out = {
+        "lee": lee.displayed(),
+        "cho": cho.displayed(),
+        "errors": lee.errors + cho.errors,
+        "failures": list(network.delivery_failures),
+        "injected": network.injected_counts(),
+    }
+    db.close()
+    return out
+
+
+def act(title):
+    print(f"\n== {title} ==")
+
+
+def main() -> None:
+    registry = obs.MetricsRegistry()
+    log = obs.EventLog()
+    with obs.use_registry(registry), obs.use_event_log(log):
+        with tempfile.TemporaryDirectory() as workdir:
+            act("act one: a lossy wire, no protection")
+            bare = run_consultation(
+                workdir, "bare", lossy_plan(), reliability=False
+            )
+            diverged = {
+                path: (value, bare["cho"].get(path))
+                for path, value in bare["lee"].items()
+                if bare["cho"].get(path) != value
+            }
+            print(f"faults injected: {bare['injected']}")
+            print(f"client-visible errors: {len(bare['errors'])}")
+            print(f"components where the two viewers disagree: {len(diverged)}")
+            for path, (lee_sees, cho_sees) in sorted(diverged.items()):
+                print(f"  {path}: lee sees {lee_sees!r}, cho sees {cho_sees!r}")
+            if diverged:
+                print("the shared view silently broke — and nothing complained.")
+
+            act("act two: the same faults, reliable transport on")
+            repaired = run_consultation(
+                workdir, "repaired", lossy_plan(), reliability=True
+            )
+            counters = registry.snapshot()["counters"]
+            retries = sum(
+                value for key, value in counters.items()
+                if key.startswith("net.retries")
+            )
+            print(f"faults injected: {repaired['injected']}")
+            print(f"retransmissions: {retries}, "
+                  f"corrupt frames quarantined: "
+                  f"{counters.get('net.corrupt_dropped', 0)}")
+            same = repaired["lee"] == repaired["cho"]
+            print(f"viewer displays: {'byte-identical' if same else 'DIVERGED'}")
+            assert same and not repaired["errors"] and not repaired["failures"]
+
+            act("act three: riding out a one-second partition")
+            plan = FaultPlan(seed=11)
+            plan.partition({"client-cho"}, {"server"}, start=0.5, end=1.5)
+            cut = run_consultation(workdir, "cut", plan, reliability=True)
+            for event in log.events:
+                if event.name.startswith("chaos.partition"):
+                    fields = event.fields
+                    print(f"  t={event.at:.3f}  {event.name}  "
+                          f"{sorted(fields['a'])} x {sorted(fields['b'])}")
+            same = cut["lee"] == cut["cho"]
+            print(f"after the heal, displays: "
+                  f"{'byte-identical' if same else 'DIVERGED'}")
+            assert same and not cut["errors"] and not cut["failures"]
+
+    act("act four: the convergence gate CI runs")
+    with tempfile.TemporaryDirectory() as workdir:
+        report = run_convergence(workdir, seeds=(1, 2), quick=True)
+    for seed, entry in report["seeds"].items():
+        print(f"  seed {seed}: {'ok' if entry['ok'] else 'DIVERGED'}  "
+              f"injected={sum(entry['injected'].values())} "
+              f"retries={entry['retries']} failovers={entry['failovers']}")
+    assert report["ok"]
+    print("every seeded chaos run converged to the fault-free control.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,168 @@
+"""Convergence harness: chaos runs must end where the control run ends.
+
+The strongest claim the reliability layer makes is not "fewer errors" —
+it is *exactly-once, in-order delivery*, and the observable consequence
+is that a conference driven under loss, duplication, reordering, a
+partition window and a primary crash finishes with every client
+displaying **byte-for-byte** the state of the fault-free control run.
+
+:func:`run_convergence` runs the control once and the chaos scenario
+under N seeds, each in its own isolated metrics registry/event log, and
+compares. ``python -m repro.chaos.convergence --seeds 1 2 3 4 5`` is the
+CI entry point: exit status 1 on any divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Iterable
+
+from repro import obs
+from repro.chaos.plan import FaultPlan
+from repro.db.engine import Database
+from repro.db.orm import MultimediaObjectStore
+from repro.workloads.chaos import run_chaos_conference
+
+#: Fault rates of the acceptance scenario: lossy enough that repair
+#: mechanisms demonstrably fire, survivable within the retry budget.
+DEFAULT_RATES = {
+    "drop_rate": 0.06,
+    "dup_rate": 0.05,
+    "reorder_rate": 0.08,
+    "corrupt_rate": 0.02,
+}
+
+DEFAULT_SEEDS = (1, 2, 3, 4, 5)
+
+
+def _one_run(
+    root: str, name: str, plan: FaultPlan | None, quick: bool, **kwargs: Any
+) -> dict[str, Any]:
+    """One isolated conference run (fresh obs context, fresh database)."""
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        log = obs.EventLog()
+        with obs.use_event_log(log):
+            db = Database(f"{root}/{name}")
+            try:
+                store = MultimediaObjectStore(db)
+                result = run_chaos_conference(store, plan=plan, **kwargs)
+            finally:
+                db.close()
+            counters = registry.snapshot()["counters"]
+            result["counters"] = {
+                key: value
+                for key, value in counters.items()
+                if key.startswith(("net.", "chaos.", "gateway.route"))
+            }
+            result.pop("harness", None)
+            return result
+
+
+def run_convergence(
+    root: str,
+    seeds: Iterable[int] = DEFAULT_SEEDS,
+    quick: bool = False,
+    crash: bool = True,
+    partition: bool = True,
+) -> dict[str, Any]:
+    """Control + one chaos run per seed; report agreement.
+
+    *root* is a scratch directory for the runs' databases. ``quick``
+    trims the workload (fewer events) for CI smoke jobs. The returned
+    report has ``converged`` per seed plus the overall ``ok`` verdict:
+    every seed byte-identical to control, zero client-visible errors,
+    zero delivery failures, and — to prove chaos was actually on — at
+    least one injected fault and one retransmission per seed.
+    """
+    events_per_room = 3 if quick else 6
+    kwargs = dict(
+        events_per_room=events_per_room,
+        crash_owner_of="case-0" if crash else None,
+    )
+    control = _one_run(root, "control", None, quick, **kwargs)
+    report: dict[str, Any] = {
+        "control": {
+            "displayed": control["displayed"],
+            "errors": control["errors"],
+            "sim_seconds": control["sim_seconds"],
+        },
+        "seeds": {},
+    }
+    ok = not control["errors"]
+    for seed in seeds:
+        plan = FaultPlan(seed=seed, **DEFAULT_RATES)
+        result = _one_run(
+            root, f"seed-{seed}", plan, quick, partition=partition, **kwargs
+        )
+        retries = sum(
+            value
+            for key, value in result["counters"].items()
+            if key.startswith("net.retries")
+        )
+        injected = sum(result["injected"].values())
+        converged = result["displayed"] == control["displayed"]
+        seed_ok = (
+            converged
+            and not result["errors"]
+            and not result["delivery_failures"]
+            and injected > 0
+            and retries > 0
+        )
+        ok = ok and seed_ok
+        report["seeds"][seed] = {
+            "ok": seed_ok,
+            "converged": converged,
+            "errors": result["errors"],
+            "delivery_failures": result["delivery_failures"],
+            "injected": result["injected"],
+            "retries": retries,
+            "failovers": len(result["failovers"]),
+            "victim": result["victim"],
+            "sim_seconds": result["sim_seconds"],
+        }
+    report["ok"] = ok
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Chaos convergence suite: N seeded runs vs fault-free control."
+    )
+    parser.add_argument("--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS))
+    parser.add_argument("--quick", action="store_true", help="trimmed CI workload")
+    parser.add_argument("--no-crash", action="store_true")
+    parser.add_argument("--no-partition", action="store_true")
+    parser.add_argument("--root", default=None, help="scratch dir (default: mkdtemp)")
+    args = parser.parse_args(argv)
+    root = args.root
+    if root is None:
+        import tempfile
+
+        root = tempfile.mkdtemp(prefix="chaos-convergence-")
+    report = run_convergence(
+        root,
+        seeds=args.seeds,
+        quick=args.quick,
+        crash=not args.no_crash,
+        partition=not args.no_partition,
+    )
+    for seed, entry in report["seeds"].items():
+        status = "ok" if entry["ok"] else "DIVERGED"
+        print(
+            f"seed {seed}: {status}  injected={sum(entry['injected'].values())} "
+            f"retries={entry['retries']} failovers={entry['failovers']} "
+            f"errors={len(entry['errors'])} "
+            f"delivery_failures={len(entry['delivery_failures'])}"
+        )
+    if not report["ok"]:
+        print(json.dumps(report, indent=2, default=str), file=sys.stderr)
+        return 1
+    print(f"all {len(report['seeds'])} seeds converged to the control run")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

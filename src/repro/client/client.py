@@ -17,6 +17,11 @@ from repro.client.buffer import ClientBuffer, entry_key
 from repro.client.view import RenderTree
 from repro.net.message import Message
 from repro.net.network import SimulatedNetwork
+from repro.presentation.tuning import (
+    BANDWIDTH_LOW,
+    BANDWIDTH_MEDIUM,
+    TUNING_VARIABLE,
+)
 from repro.server.protocol import MessageKind, encoded_size
 
 DEFAULT_BUFFER_BYTES = 64 * 1024 * 1024
@@ -31,6 +36,7 @@ class ClientModule:
         network: SimulatedNetwork | None = None,
         buffer_bytes: int = DEFAULT_BUFFER_BYTES,
         auto_fetch: bool = True,
+        degrade_on_loss: bool = True,
     ) -> None:
         self.viewer_id = viewer_id
         self.node_id = f"client-{viewer_id}"
@@ -54,6 +60,13 @@ class ClientModule:
         self.peer_events: list[dict[str, Any]] = []
         self.broadcasts: list[dict[str, Any]] = []
         self.errors: list[dict[str, Any]] = []
+        self.degrade_on_loss = degrade_on_loss
+        #: Frames the reliable transport gave up on, as dicts.
+        self.delivery_failures: list[dict[str, Any]] = []
+        #: Components displayed as placeholders after payload fetch failed.
+        self.degraded_components: list[str] = []
+        self._tuning_level: str | None = None
+        self._tuning_unsupported = False
         self.updates_received = 0
         self.join_time: float | None = None
         self.join_latency: float | None = None
@@ -161,7 +174,14 @@ class ClientModule:
         elif message.kind == MessageKind.BROADCAST:
             self.broadcasts.append(payload)
         elif message.kind == MessageKind.ERROR:
-            self.errors.append(payload)
+            detail = str(payload.get("detail", ""))
+            if self._tuning_level is not None and TUNING_VARIABLE in detail:
+                # Our own degradation step-down bounced: the document has
+                # no tuning variable installed. Remember, stop trying —
+                # this is not a user-visible protocol error.
+                self._tuning_unsupported = True
+            else:
+                self.errors.append(payload)
         else:
             raise ClientError(f"unexpected message kind {message.kind!r}")
 
@@ -223,6 +243,62 @@ class ClientModule:
         if self.render is not None and component in self.render:
             if self.render.value_of(component) == value:
                 self.render.mark_payload_ready(component)
+
+    # ----- graceful degradation ----------------------------------------------------------
+
+    def on_delivery_failed(self, error: Any) -> None:
+        """The reliable transport gave up on one of this client's frames.
+
+        Payload fetches degrade gracefully (§4.4): the component renders
+        its placeholder instead of hanging forever, and the client steps
+        its personal ``tuning.bandwidth`` choice down one level so the
+        preference model stops selecting presentations the link cannot
+        carry. Everything else is recorded for the caller to inspect.
+        """
+        self.delivery_failures.append(
+            {
+                "kind": error.kind,
+                "recipient": error.recipient,
+                "reason": error.reason,
+                "attempts": error.attempts,
+            }
+        )
+        if not self.degrade_on_loss or error.kind != MessageKind.FETCH_PAYLOAD:
+            return
+        component = (error.payload or {}).get("component")
+        if component is not None:
+            self.degraded_components.append(component)
+            if self.render is not None and component in self.render:
+                self.render.mark_payload_ready(component)  # placeholder
+        self._step_down_tuning()
+
+    def _step_down_tuning(self) -> None:
+        if self._tuning_unsupported or self.session_id is None:
+            return
+        if self._tuning_level is None:
+            next_level = BANDWIDTH_MEDIUM
+        elif self._tuning_level == BANDWIDTH_MEDIUM:
+            next_level = BANDWIDTH_LOW
+        else:
+            return  # already at the floor
+        self._tuning_level = next_level
+        # Personal scope: one viewer's bad link must not degrade the room.
+        # Deliberately not _mark_action(): this is not a user action and
+        # must not contaminate view-response latency metrics.
+        self._send(
+            MessageKind.CHOICE,
+            {
+                "session_id": self.session_id,
+                "component": TUNING_VARIABLE,
+                "value": next_level,
+                "scope": "personal",
+            },
+        )
+
+    @property
+    def tuning_level(self) -> str | None:
+        """Degradation level this client has stepped itself down to."""
+        return self._tuning_level
 
     # ----- views -------------------------------------------------------------------------
 

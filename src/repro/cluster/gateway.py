@@ -39,12 +39,16 @@ class Gateway:
         node_id: str = "gateway",
         failure_timeout: float = 2.0,
         replication_factor: int = 2,
+        route_retry_base_s: float = 0.25,
+        route_retry_attempts: int = 6,
     ) -> None:
         self.node_id = node_id
         self.network = network
         self.ring = ring if ring is not None else HashRing()
         self.replication_factor = replication_factor
         self.detector = FailureDetector(failure_timeout)
+        self.route_retry_base_s = route_retry_base_s
+        self.route_retry_attempts = route_retry_attempts
         self._ids = IdGenerator(namespace=node_id)
         self._shards: set[str] = set()
         self._dead: set[str] = set()
@@ -61,6 +65,8 @@ class Gateway:
             "gateway.routed_bytes", ("shard", "direction")
         )
         self._m_route_errors = registry.counter("gateway.route_errors")
+        self._m_route_retries = registry.counter("gateway.route_retries")
+        self._m_zombies_fenced = registry.counter("gateway.zombies_fenced")
         self._h_failover = registry.histogram(
             "cluster.failover_duration_s", LATENCY_BUCKETS
         )
@@ -203,6 +209,17 @@ class Gateway:
     def receive(self, message: Message) -> None:
         payload = message.payload or {}
         kind = message.kind
+        if message.sender in self._dead:
+            # Zombie fencing: a shard declared dead stays dead. A slow
+            # frame from before the declaration (or a partitioned shard
+            # that kept running) must not poison the routing table or
+            # resurrect itself via a late heartbeat.
+            self._m_zombies_fenced.inc()
+            self._emit(
+                "gateway.zombie_fenced", severity="WARN",
+                shard=message.sender, kind=kind,
+            )
+            return
         try:
             if kind == MessageKind.HEARTBEAT:
                 self.detector.beat(payload["node"], self.network.clock.now)
@@ -231,16 +248,25 @@ class Gateway:
         finally:
             self.push_telemetry(force=False)
 
-    def _route_client(self, sender_node: str, kind: str, payload: dict[str, Any]) -> None:
+    def _route_client(
+        self, sender_node: str, kind: str, payload: dict[str, Any], attempt: int = 0
+    ) -> None:
         if kind == MessageKind.JOIN:
             shard = self.ring.owner(payload["doc_id"])
         else:
             session_id = payload.get("session_id")
             shard = self._session_route.get(session_id)
             if shard is None:
+                # Unknown session: retrying cannot help, error out now.
                 raise ClusterError(f"no shard owns session {session_id!r}")
         if shard in self._dead or not self.network.has_node(shard):
-            raise ClusterError(f"shard {shard!r} is unavailable")
+            # The shard may only be *temporarily* unroutable: crashed but
+            # not yet swept by the detector, mid-failover before the ring
+            # re-homes the key. Park the op and retry with backoff — the
+            # route is re-resolved on every attempt, so a completed
+            # failover picks up the promoted shard transparently.
+            self._retry_route(sender_node, kind, payload, attempt)
+            return
         wrapper = shardbound_wrapper(sender_node, kind, payload)
         size = shardbound_size(wrapper)
         self.network.send(
@@ -253,6 +279,76 @@ class Gateway:
             self._session_route.pop(session_id, None)
             self._session_key.pop(session_id, None)
             self._g_sessions.set(len(self._session_route))
+
+    def _retry_route(
+        self, sender_node: str, kind: str, payload: dict[str, Any], attempt: int
+    ) -> None:
+        if attempt >= self.route_retry_attempts:
+            self._m_route_errors.inc()
+            self._emit(
+                "gateway.route_gave_up", severity="ERROR",
+                node=sender_node, kind=kind, attempts=attempt,
+            )
+            if self.network.has_node(sender_node):
+                body = {
+                    "error": "ClusterError",
+                    "detail": f"no live shard for {kind!r} after {attempt} retries",
+                }
+                self.network.send(
+                    self.node_id, sender_node, MessageKind.ERROR,
+                    payload=body, size_bytes=encoded_size(body),
+                )
+            return
+        delay = self.route_retry_base_s * (2.0**attempt)
+        self._m_route_retries.inc()
+        self._emit(
+            "gateway.route_retry", node=sender_node, kind=kind,
+            attempt=attempt + 1, delay=delay,
+        )
+        self.network.clock.schedule(
+            delay,
+            lambda: self._route_retry_tick(sender_node, kind, payload, attempt + 1),
+        )
+
+    def _route_retry_tick(
+        self, sender_node: str, kind: str, payload: dict[str, Any], attempt: int
+    ) -> None:
+        # Outside receive()'s try block now (we're a clock callback): an
+        # exception here would kill the whole simulation, so route errors
+        # turn into client-facing ERROR frames the same way.
+        try:
+            self._route_client(sender_node, kind, payload, attempt=attempt)
+        except Exception as exc:
+            self._m_route_errors.inc()
+            if self.network.has_node(sender_node):
+                body = {"error": type(exc).__name__, "detail": str(exc)}
+                self.network.send(
+                    self.node_id, sender_node, MessageKind.ERROR,
+                    payload=body, size_bytes=encoded_size(body),
+                )
+
+    def on_delivery_failed(self, error: Any) -> None:
+        """The reliable layer gave up on one of the gateway's frames.
+
+        Shard-bound ROUTE envelopes get one more chance through the
+        routing retry path — by the time the transport retry budget is
+        exhausted, failover has usually re-homed the session to a live
+        shard, so re-resolving the route recovers the op. Client-bound
+        traffic is dropped with a WARN (the client is gone or hopeless).
+        """
+        self._emit(
+            "gateway.delivery_failed", severity="WARN",
+            recipient=error.recipient, kind=error.kind, reason=error.reason,
+        )
+        wrapper = error.payload
+        if (
+            error.kind == MessageKind.ROUTE
+            and isinstance(wrapper, dict)
+            and "sender" in wrapper
+        ):
+            self._route_retry_tick(
+                wrapper["sender"], wrapper["kind"], wrapper["payload"], attempt=0
+            )
 
     def _forward_to_client(self, shard_id: str, wrapper: dict[str, Any]) -> None:
         to = wrapper["to"]

@@ -37,11 +37,19 @@ class ClusterHarness:
         replication_factor: int = 2,
         failure_timeout: float = 2.0,
         vnodes: int = 64,
+        reliability: Any = None,
+        plan: Any = None,
     ) -> None:
         if num_shards < 1:
             raise ClusterError(f"a cluster needs >= 1 shard, got {num_shards}")
         self.store = store
-        self.network = SimulatedNetwork(clock)
+        if plan is not None:
+            # Imported lazily: repro.chaos sits above repro.cluster.
+            from repro.chaos.network import ChaosNetwork
+
+            self.network = ChaosNetwork(clock, reliability=reliability, plan=plan)
+        else:
+            self.network = SimulatedNetwork(clock, reliability=reliability)
         self.ring = HashRing(vnodes=vnodes)
         self.gateway = Gateway(
             self.network,
@@ -124,6 +132,10 @@ class ClusterHarness:
     def crash(self, shard_id: str) -> None:
         """Fail-stop one shard (it stops processing and heartbeating)."""
         self.shards[shard_id].crash()
+
+    def schedule_crash(self, shard_id: str, at: float) -> None:
+        """Arrange for *shard_id* to fail-stop at simulated time *at*."""
+        self.clock.schedule_at(at, lambda: self.crash(shard_id))
 
     def run(self) -> int:
         """Drive the clock until the network is quiescent."""

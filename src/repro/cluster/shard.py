@@ -31,6 +31,7 @@ from repro.net.simclock import SimClock
 from repro.server.interaction import InteractionServer
 from repro.server.permissions import PermissionPolicy
 from repro.server.protocol import MessageKind, encoded_size
+from repro.util.failpoints import get_failpoints
 
 #: client message kind -> replicated op name (None = read-only, not logged)
 _REPLICATED_OPS = {
@@ -158,6 +159,7 @@ class ShardServer:
         self._room_history: dict[str, list[tuple[str, dict[str, Any]]]] = {}
         self._replica_rooms: dict[str, set[str]] = {}  # replica -> bootstrapped keys
         self._capture: list[tuple[str, Any]] | None = None
+        self._failpoints = get_failpoints()
         registry = obs.get_registry()
         self._events = obs.get_event_log()
         self._m_ops_in = registry.counter_family("cluster.shard.ops", ("shard",)).labels(
@@ -350,6 +352,19 @@ class ShardServer:
         ]
 
     def _ship_entries(self, replica_id: str, log: ShipLog, entries: list[LogEntry]) -> None:
+        if not self.alive:
+            return
+        # Crash points for chaos tests: a primary can die immediately
+        # before the replicate frame leaves (the replica misses the
+        # tail) or immediately after (the batch is on the wire but the
+        # primary never records the ship). Fail-stop, not exception —
+        # the rest of the simulation keeps running around the corpse.
+        mode = self._failpoints.fire(
+            "cluster.replicate", shard=self.node_id, replica=replica_id
+        )
+        if mode == "crash_before":
+            self.crash()
+            return
         body = {
             "primary": self.node_id,
             "entries": [entry.to_wire() for entry in entries],
@@ -359,12 +374,20 @@ class ShardServer:
             self.node_id, replica_id, MessageKind.REPLICATE,
             payload=body, size_bytes=size,
         )
+        if mode == "crash_after":
+            self.crash()
+            return
         log.mark_shipped(entries[-1].seq)
         self._f_repl_ops.labels(self.node_id).inc(len(entries))
         self._f_repl_bytes.labels(self.node_id).inc(size)
         self._f_repl_lag.labels(self.node_id, replica_id).set(log.lag)
 
     def _handle_ack(self, replica_id: str, payload: dict[str, Any]) -> None:
+        if self._failpoints.fire(
+            "cluster.ack", shard=self.node_id, replica=replica_id
+        ) == "crash":
+            self.crash()
+            return
         log = self._ship.get(replica_id)
         if log is None:
             return
@@ -407,6 +430,23 @@ class ShardServer:
             shard=self.node_id,
             applied_seq=applied_seq,
             dropped=dropped,
+        )
+
+    def on_delivery_failed(self, error: Any) -> None:
+        """The reliable layer gave up on one of this shard's frames.
+
+        Replication repair is already failover's job (the ring re-homes
+        the room and the next op bootstraps the replica from history),
+        so the shard only records the fact for the post-mortem.
+        """
+        self._events.emit(
+            "cluster.shard_delivery_failed",
+            severity="WARN",
+            at=self.network.clock.now,
+            shard=self.node_id,
+            recipient=error.recipient,
+            kind=error.kind,
+            reason=error.reason,
         )
 
     # ----- failover ------------------------------------------------------------------

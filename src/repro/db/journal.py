@@ -18,7 +18,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Iterator
 
-from repro.errors import TransactionError
+from repro.errors import CrashInjected, TransactionError
+from repro.util.failpoints import get_failpoints
 
 BEGIN = "begin"
 COMMIT = "commit"
@@ -116,7 +117,23 @@ class Journal:
         self._append(JournalRecord(CHECKPOINT, 0, {}), sync=True)
 
     def _append(self, record: JournalRecord, sync: bool = False) -> None:
-        self._file.write(record.to_line())
+        line = record.to_line()
+        # Crash point for chaos tests: simulate the two classic append
+        # failures — a torn write (process died mid-line) and a
+        # duplicated line (a crash-retry loop wrote the record twice
+        # before dying). Both leave the file exactly as a real crash
+        # would, then kill the "process" via CrashInjected.
+        mode = get_failpoints().fire("journal.append", op=record.op, txn=record.txn)
+        if mode == "torn":
+            self._file.write(line[: max(1, len(line) // 2)])
+            self._file.flush()
+            raise CrashInjected(f"journal.append torn write ({record.op})")
+        if mode == "duplicate":
+            self._file.write(line)
+            self._file.write(line)
+            self._file.flush()
+            raise CrashInjected(f"journal.append duplicated line ({record.op})")
+        self._file.write(line)
         self._file.flush()
         if sync:
             os.fsync(self._file.fileno())
@@ -138,7 +155,15 @@ class Journal:
         """Mutation records of committed transactions after the last checkpoint."""
         committed: list[JournalRecord] = []
         pending: dict[int, list[JournalRecord]] = {}
+        previous: JournalRecord | None = None
         for record in self.replay():
+            # A crash-retry loop can leave the same line on disk twice
+            # in a row (see the "duplicate" journal.append failpoint).
+            # Replaying the mutation twice would double-apply it, so
+            # consecutive identical records collapse to one.
+            if record == previous:
+                continue
+            previous = record
             if record.op == CHECKPOINT:
                 committed.clear()
                 pending.clear()

@@ -62,6 +62,44 @@ class NetworkError(ReproError):
     """Base class for simulated-network errors."""
 
 
+class DeliveryFailed(NetworkError):
+    """A reliable send exhausted its retry budget (or lost its endpoint).
+
+    Carries enough context for the sender to react: re-route, degrade,
+    or surface the loss to the user instead of livelocking on retries.
+    """
+
+    def __init__(
+        self,
+        sender: str,
+        recipient: str,
+        kind: str,
+        seq: int,
+        attempts: int,
+        reason: str = "retry_budget_exhausted",
+        payload: object = None,
+    ) -> None:
+        super().__init__(
+            f"delivery failed {sender!r}->{recipient!r} kind={kind!r} "
+            f"seq={seq} after {attempts} attempt(s): {reason}"
+        )
+        self.sender = sender
+        self.recipient = recipient
+        self.kind = kind
+        self.seq = seq
+        self.attempts = attempts
+        self.reason = reason
+        self.payload = payload
+
+
+class ChaosError(ReproError):
+    """Base class for fault-injection (repro.chaos) errors."""
+
+
+class CrashInjected(ChaosError):
+    """A failpoint simulated a crash at this code point (fail-stop)."""
+
+
 class ServerError(ReproError):
     """Base class for interaction-server errors."""
 

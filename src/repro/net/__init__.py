@@ -13,6 +13,22 @@ report message volume and transfer times.
 from repro.net.link import Link
 from repro.net.message import Message
 from repro.net.network import NetworkStats, SimulatedNetwork
+from repro.net.reliable import (
+    NET_ACK,
+    ReliableTransport,
+    RetryPolicy,
+    payload_checksum,
+)
 from repro.net.simclock import SimClock
 
-__all__ = ["Link", "Message", "NetworkStats", "SimClock", "SimulatedNetwork"]
+__all__ = [
+    "Link",
+    "Message",
+    "NET_ACK",
+    "NetworkStats",
+    "ReliableTransport",
+    "RetryPolicy",
+    "SimClock",
+    "SimulatedNetwork",
+    "payload_checksum",
+]

@@ -56,6 +56,19 @@ class Link:
         self.messages_carried += 1
         return done_sending + self.latency_s
 
+    def priority_transfer(self, now: float, size_bytes: int) -> float:
+        """Carry a control-plane frame without FIFO queueing.
+
+        Liveness traffic (heartbeats) rides a priority lane — like
+        QoS-marked control traffic in a real deployment — so a link
+        congested with image payloads does not make a healthy node look
+        dead. The bytes are still counted; the frame just never waits,
+        and never delays data traffic either.
+        """
+        self.bytes_carried += size_bytes
+        self.messages_carried += 1
+        return now + self.transmission_time(size_bytes) + self.latency_s
+
     def queueing_delay(self, now: float) -> float:
         """How long a message arriving now would wait before transmitting."""
         return max(0.0, self._busy_until - now)

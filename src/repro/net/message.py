@@ -16,7 +16,15 @@ _message_counter = itertools.count(1)
 
 @dataclass(frozen=True)
 class Message:
-    """One unit of transfer between two nodes."""
+    """One unit of transfer between two nodes.
+
+    ``seq`` and ``checksum`` are set by the reliable transport when it is
+    enabled: ``seq`` numbers the frame within its directed
+    sender→recipient stream (dedup + in-order delivery), ``checksum``
+    protects the payload against injected corruption. ``attempt`` counts
+    retransmissions of the same logical frame (0 = first transmission);
+    retransmits keep their ``message_id``.
+    """
 
     sender: str
     recipient: str
@@ -24,13 +32,17 @@ class Message:
     payload: Any = None
     size_bytes: int = 0
     message_id: int = field(default_factory=lambda: next(_message_counter))
+    seq: int | None = None
+    checksum: int | None = None
+    attempt: int = 0
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:
             raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
 
     def __str__(self) -> str:
+        retry = f" retry#{self.attempt}" if self.attempt else ""
         return (
             f"Message#{self.message_id} {self.sender}->{self.recipient} "
-            f"{self.kind} ({self.size_bytes}B)"
+            f"{self.kind} ({self.size_bytes}B){retry}"
         )

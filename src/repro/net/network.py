@@ -13,11 +13,18 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Protocol
 
-from repro.errors import NetworkError
+from repro.errors import DeliveryFailed, NetworkError
 from repro.net.link import Link
 from repro.net.message import Message
+from repro.net.reliable import NET_ACK, ReliableTransport, RetryPolicy
 from repro.net.simclock import SimClock
 from repro.obs import LATENCY_BUCKETS, get_event_log, get_registry
+
+
+#: Kinds carried on the links' priority lane (no FIFO queueing): tiny
+#: liveness frames that must not wait behind multi-megabyte payloads,
+#: or link congestion becomes indistinguishable from node death.
+CONTROL_PLANE_KINDS = ("heartbeat",)
 
 
 class Node(Protocol):
@@ -46,9 +53,21 @@ class NetworkStats:
 
 
 class SimulatedNetwork:
-    """A hub-and-spoke network: one hub, many clients, per-client links."""
+    """A hub-and-spoke network: one hub, many clients, per-client links.
 
-    def __init__(self, clock: SimClock | None = None) -> None:
+    With ``reliability`` set (a :class:`RetryPolicy`, or ``True`` for the
+    defaults), application traffic is carried by the ARQ layer in
+    :mod:`repro.net.reliable`: sequenced, checksummed, acked,
+    retransmitted with backoff, deduplicated and delivered in order per
+    directed node pair. Without it the network keeps the original
+    fire-and-forget semantics byte for byte.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        reliability: RetryPolicy | bool | None = None,
+    ) -> None:
         self.clock = clock if clock is not None else SimClock()
         self._nodes: dict[str, Node] = {}
         self._uplinks: dict[str, Link] = {}    # node -> hub
@@ -66,6 +85,14 @@ class SimulatedNetwork:
         # Per-link byte counters, created on attach: node -> Counter.
         self._m_link_up: dict[str, Any] = {}
         self._m_link_down: dict[str, Any] = {}
+        if reliability is True:
+            reliability = RetryPolicy()
+        self.reliability: ReliableTransport | None = (
+            ReliableTransport(self, reliability) if reliability else None
+        )
+        #: Typed DeliveryFailed errors surfaced by the reliable layer, in
+        #: order (also delivered to senders via ``on_delivery_failed``).
+        self.delivery_failures: list[DeliveryFailed] = []
 
     # ----- topology --------------------------------------------------------------
 
@@ -118,6 +145,12 @@ class SimulatedNetwork:
         self._uplinks.pop(node_id, None)
         self._downlinks.pop(node_id, None)
         self._backbone.discard(node_id)
+        # Peer links registered for the node must go too — a stale
+        # set_peer_link entry would otherwise survive detachment and be
+        # silently reused if a node with the same id ever reattaches.
+        self._peer_links = {
+            pair: link for pair, link in self._peer_links.items() if node_id not in pair
+        }
 
     @property
     def hub_id(self) -> str:
@@ -173,6 +206,21 @@ class SimulatedNetwork:
 
     # ----- transfer --------------------------------------------------------------------
 
+    def _resolve_link(self, sender: str, recipient: str) -> tuple[Link, Any]:
+        """The link (and its byte counter) carrying sender→recipient."""
+        hub = self.hub_id
+        if sender == hub and recipient != hub:
+            return self.downlink(recipient), self._m_link_down[recipient]
+        if recipient == hub and sender != hub:
+            return self.uplink(sender), self._m_link_up[sender]
+        if sender in self._backbone and recipient in self._backbone:
+            link = self._peer_link(sender, recipient)
+            return link, self._obs.counter(f"net.peer.{sender}.{recipient}.bytes")
+        raise NetworkError(
+            f"only hub<->client and backbone peer traffic is modelled, "
+            f"got {sender!r}->{recipient!r}"
+        )
+
     def send(
         self,
         sender: str,
@@ -191,52 +239,76 @@ class SimulatedNetwork:
             raise NetworkError(f"unknown sender {sender!r}")
         if recipient not in self._nodes:
             raise NetworkError(f"unknown recipient {recipient!r}")
-        hub = self.hub_id
-        if sender == hub and recipient != hub:
-            link = self.downlink(recipient)
-            link_bytes = self._m_link_down[recipient]
-        elif recipient == hub and sender != hub:
-            link = self.uplink(sender)
-            link_bytes = self._m_link_up[sender]
-        elif sender in self._backbone and recipient in self._backbone:
-            link = self._peer_link(sender, recipient)
-            link_bytes = self._obs.counter(f"net.peer.{sender}.{recipient}.bytes")
-        else:
-            raise NetworkError(
-                f"only hub<->client and backbone peer traffic is modelled, "
-                f"got {sender!r}->{recipient!r}"
-            )
+        self._resolve_link(sender, recipient)  # validate the route up front
         message = Message(
             sender=sender, recipient=recipient, kind=kind,
             payload=payload, size_bytes=size_bytes,
         )
-        self._m_queue_delay.observe(link.queueing_delay(self.clock.now))
-        arrival = link.schedule_transfer(self.clock.now, size_bytes)
-        self._m_messages.inc()
-        self._m_bytes.inc(size_bytes)
-        link_bytes.inc(size_bytes)
-        self.stats.record(message)
-        target = self._nodes[recipient]
-        self.clock.schedule_at(arrival, lambda: self._deliver(target, message))
+        if self.reliability is not None:
+            message = self.reliability.prepare(message)
+        self._transmit(message)
         return message
 
-    def _deliver(self, target: Node, message: Message) -> None:
+    def _transmit(self, message: Message) -> None:
+        """Put one frame on its wire (also the retransmission entry point).
+
+        Every transmission — first send, duplicate, retry — charges the
+        link and the byte counters: the wire accounting stays honest
+        under retransmission. Chaos (see :class:`repro.chaos.ChaosNetwork`)
+        overrides this hook, so injected faults apply to retries too.
+        """
+        if message.sender not in self._nodes or message.recipient not in self._nodes:
+            self._drop(message)  # an endpoint died while the frame waited
+            return
+        link, link_bytes = self._resolve_link(message.sender, message.recipient)
+        if message.kind in CONTROL_PLANE_KINDS:
+            arrival = link.priority_transfer(self.clock.now, message.size_bytes)
+        else:
+            self._m_queue_delay.observe(link.queueing_delay(self.clock.now))
+            arrival = link.schedule_transfer(self.clock.now, message.size_bytes)
+        self._m_messages.inc()
+        self._m_bytes.inc(message.size_bytes)
+        link_bytes.inc(message.size_bytes)
+        self.stats.record(message)
+        self.clock.schedule_at(arrival, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
         # The node may have detached between send and arrival; drop the
         # message (the paper's server discards updates for departed
         # clients) but leave a WARN in the flight recorder — a silent
         # drop is exactly the kind of thing post-mortems need to see.
-        if target.node_id not in self._nodes:
-            self._m_drops.inc()
-            self._events.emit(
-                "net.drop",
-                severity="WARN",
-                at=self.clock.now,
-                node=target.node_id,
-                kind=message.kind,
-                size_bytes=message.size_bytes,
-            )
+        if message.recipient not in self._nodes:
+            self._drop(message)
+            return
+        if self.reliability is not None:
+            if message.kind == NET_ACK:
+                self.reliability.on_ack(message)
+                return
+            if not self.reliability.verify(message):
+                return  # corrupt frame quarantined; retransmission repairs
+            if message.seq is not None:
+                self.reliability.on_frame(message)
+                return
+        self._hand_off(message)
+
+    def _hand_off(self, message: Message) -> None:
+        """Final step: hand a (deduped, ordered) frame to its node."""
+        target = self._nodes.get(message.recipient)
+        if target is None:
+            self._drop(message)
             return
         target.receive(message)
+
+    def _drop(self, message: Message) -> None:
+        self._m_drops.inc()
+        self._events.emit(
+            "net.drop",
+            severity="WARN",
+            at=self.clock.now,
+            node=message.recipient,
+            kind=message.kind,
+            size_bytes=message.size_bytes,
+        )
 
     def run(self) -> int:
         """Drive the clock until the network is quiescent."""

@@ -24,6 +24,12 @@ from repro.client.buffer import ClientBuffer, entry_key
 from repro.document.component import PrimitiveMultimediaComponent
 from repro.document.document import MultimediaDocument
 from repro.prefetch.predictor import CPNetPredictor
+from repro.presentation.tuning import (
+    BANDWIDTH_HIGH,
+    BANDWIDTH_LOW,
+    BANDWIDTH_MEDIUM,
+    TUNING_VARIABLE,
+)
 
 POLICY_NONE = "none"
 POLICY_RANDOM = "random"
@@ -44,6 +50,10 @@ class PrefetchReport:
     wasted_prefetch_bytes: int = 0
     total_wait_s: float = 0.0
     waits: list[float] = field(default_factory=list)
+    retries: int = 0
+    #: (event index, level) each time the session stepped itself down.
+    degradations: list[tuple[int, str]] = field(default_factory=list)
+    tuning_level: str | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -70,24 +80,43 @@ class PrefetchSimulator:
         think_time_s: float = 3.0,
         latency_s: float = 0.02,
         seed: int = 0,
+        loss_rate: float = 0.0,
+        degrade_on_loss: bool = False,
+        degrade_wait_s: float = 2.0,
     ) -> None:
         if policy not in POLICIES:
             raise PrefetchError(f"unknown policy {policy!r}; know {POLICIES}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise PrefetchError(f"loss_rate must be in [0, 1), got {loss_rate}")
         self.document = document
         self.policy = policy
         self.buffer = ClientBuffer(buffer_bytes, owner=f"prefetch-{policy}")
         self.bandwidth_bps = bandwidth_bps
         self.think_time_s = think_time_s
         self.latency_s = latency_s
+        self.loss_rate = loss_rate
+        self.degrade_on_loss = degrade_on_loss
+        self.degrade_wait_s = degrade_wait_s
         self._rng = random.Random(seed)
         self._predictor = CPNetPredictor(document)
         self._prefetched_unused: set[str] = set()
         self._displayed: dict[str, str] = {}
+        self._retries = 0
+        self._tuning_level: str | None = None
 
     # ----- mechanics ---------------------------------------------------------------
 
     def _transfer_time(self, size_bytes: int) -> float:
-        return self.latency_s + (size_bytes * 8) / self.bandwidth_bps
+        base = self.latency_s + (size_bytes * 8) / self.bandwidth_bps
+        if self.loss_rate <= 0.0:
+            return base
+        # Lossy link: each attempt independently fails with loss_rate and
+        # is retransmitted whole (ARQ), inflating the viewer-visible wait.
+        attempts = 1
+        while attempts < 8 and self._rng.random() < self.loss_rate:
+            attempts += 1
+        self._retries += attempts - 1
+        return base * attempts
 
     def _required_payloads(self, outcome: Mapping[str, str]) -> list[tuple[str, str, int]]:
         """(component, value, size) of every on-screen payload."""
@@ -197,6 +226,7 @@ class PrefetchSimulator:
             wait = self._serve(outcome, report)
             report.waits.append(wait)
             report.total_wait_s += wait
+            self._maybe_degrade(wait, evidence, report)
             report.prefetch_bytes += self._prefetch(outcome, evidence, recent)
         report.wasted_prefetch_bytes = sum(
             self.buffer.lookup(key).size
@@ -206,8 +236,36 @@ class PrefetchSimulator:
         # Undo the statistics distortion of the waste audit's lookups.
         report_hits = report.demand_hits
         self.buffer.hits = report_hits
+        report.retries = self._retries
+        report.tuning_level = self._tuning_level
         self._record_metrics(report)
         return report
+
+    def _maybe_degrade(
+        self, wait: float, evidence: dict[str, str], report: PrefetchReport
+    ) -> None:
+        """§4.4 graceful degradation: waits over budget step the tuning down.
+
+        Only active when the document carries the ``tuning.bandwidth``
+        variable (see :func:`repro.presentation.install_bandwidth_tuning`).
+        The stepped-down evidence re-partitions every heavy component's
+        preference order toward affordable presentations, so subsequent
+        reconfigurations stop demanding payloads the link cannot carry.
+        """
+        if not self.degrade_on_loss or wait <= self.degrade_wait_s:
+            return
+        if TUNING_VARIABLE not in self.document.network:
+            return
+        current = self._tuning_level or BANDWIDTH_HIGH
+        if current == BANDWIDTH_HIGH:
+            next_level = BANDWIDTH_MEDIUM
+        elif current == BANDWIDTH_MEDIUM:
+            next_level = BANDWIDTH_LOW
+        else:
+            return  # already at the floor
+        self._tuning_level = next_level
+        evidence[TUNING_VARIABLE] = next_level
+        report.degradations.append((report.events, next_level))
 
     def _record_metrics(self, report: PrefetchReport) -> None:
         """Publish one replayed session's totals to the registry."""
@@ -222,6 +280,8 @@ class PrefetchSimulator:
         obs.counter("prefetch.demand_bytes").inc(report.demand_bytes)
         obs.counter("prefetch.prefetch_bytes").inc(report.prefetch_bytes)
         obs.counter("prefetch.wasted_prefetch_bytes").inc(report.wasted_prefetch_bytes)
+        obs.counter("prefetch.retries").inc(report.retries)
+        obs.counter("prefetch.degradations").inc(len(report.degradations))
         wait_histogram = obs.histogram("prefetch.wait_s", LATENCY_BUCKETS)
         for wait in report.waits:
             wait_histogram.observe(wait)

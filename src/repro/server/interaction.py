@@ -553,6 +553,21 @@ class InteractionServer:
             self.node_id, recipient, kind, payload=body, size_bytes=size_bytes
         )
 
+    def on_delivery_failed(self, error: Any) -> None:
+        """The reliable layer gave up on one of this server's frames.
+
+        The paper's server discards updates for unreachable clients; the
+        reliable transport has already retried within budget, so the
+        server just records the loss for the post-mortem.
+        """
+        self._emit(
+            "server.delivery_failed",
+            severity="WARN",
+            recipient=error.recipient,
+            kind=error.kind,
+            reason=error.reason,
+        )
+
     def _now(self) -> float:
         return self.network.clock.now if self.network is not None else 0.0
 

@@ -7,9 +7,12 @@
   of presentation choices that are mostly preference-plausible with a
   controllable fraction of surprises (what the prefetch study replays);
 * :mod:`repro.workloads.cluster` — many concurrent consultations driven
-  through a sharded cluster (the scale-out benchmark's scenario).
+  through a sharded cluster (the scale-out benchmark's scenario);
+* :mod:`repro.workloads.chaos` — the three-phase conference the chaos
+  convergence suite replays under seeded fault plans.
 """
 
+from repro.workloads.chaos import run_chaos_conference
 from repro.workloads.cluster import run_cluster_conference
 from repro.workloads.records import generate_record, generate_record_corpus
 from repro.workloads.sessions import consultation_events, random_choice_events
@@ -19,5 +22,6 @@ __all__ = [
     "generate_record",
     "generate_record_corpus",
     "random_choice_events",
+    "run_chaos_conference",
     "run_cluster_conference",
 ]

@@ -1,0 +1,168 @@
+"""Chaos conferencing workload: the convergence acceptance scenario.
+
+One conference, three phases of scripted choices, driven through a
+sharded cluster whose network is (optionally) injecting faults from a
+seeded :class:`~repro.chaos.FaultPlan`. The phases are placed on the
+simulated clock so the interesting windows actually carry traffic:
+
+- phase 1 runs to quiescence before fault windows open (a warm, stable
+  baseline of rooms and sessions);
+- phase 2 fires just before the partition window opens, so its frames
+  are cut mid-flight and must be repaired by the reliable transport;
+- an optional primary crash fail-stops one shard afterwards, forcing a
+  promotion under fire;
+- phase 3 fires after failover has re-homed the sessions, through the
+  promoted shard.
+
+Each phase has a single writer per room (the room's viewer 0, then
+viewer 1), so the fault-free final state is unique and a chaos run can
+be required to converge to it **byte-identically** — the assertion made
+by :mod:`repro.chaos.convergence`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.chaos.plan import FaultPlan
+from repro.cluster.harness import ClusterHarness
+from repro.db.orm import MultimediaObjectStore
+from repro.workloads.records import generate_record
+from repro.workloads.sessions import consultation_events
+
+#: Phase/window placement: offsets in simulated seconds from the moment
+#: phase 1 has fully drained (the timeline anchor).
+PHASE2_AT = 2.9
+PARTITION_START = 3.0
+PARTITION_END = 4.0
+CRASH_AT = 6.0
+PHASE3_AT = 12.0
+HORIZON = 30.0
+
+
+def run_chaos_conference(
+    store: MultimediaObjectStore,
+    plan: FaultPlan | None = None,
+    num_shards: int = 3,
+    num_rooms: int = 3,
+    clients_per_room: int = 2,
+    events_per_room: int = 6,
+    seed: int = 0,
+    crash_owner_of: str | None = None,
+    partition: bool = False,
+    failure_timeout: float = 2.0,
+    horizon: float = HORIZON,
+    reliability: Any = True,
+) -> dict[str, Any]:
+    """Drive the three-phase conference; return the final client state.
+
+    With ``plan=None`` this is the fault-free control run (same code
+    path, same reliable transport, no faults). ``partition=True`` adds a
+    gateway↔shard partition window to *plan* over phase 2; the window
+    (1.0 s) is shorter than *failure_timeout* by design — a partition
+    this brief must be repaired by retransmission, not by failover.
+    ``crash_owner_of`` names a document whose owning shard fail-stops at
+    :data:`CRASH_AT`, which *is* long enough to trigger failover.
+    """
+    docs = [f"case-{i}" for i in range(num_rooms)]
+    records = {}
+    for index, doc_id in enumerate(docs):
+        record = generate_record(
+            doc_id, sections=2, components_per_section=3, seed=seed + index
+        )
+        records[doc_id] = record
+        store.store_document(record)
+    harness = ClusterHarness(
+        store,
+        num_shards=num_shards,
+        failure_timeout=failure_timeout,
+        reliability=reliability,
+        plan=plan,
+    )
+    clients: dict[str, list[Any]] = {}
+    for index, doc_id in enumerate(docs):
+        room = [
+            harness.add_client(f"cv-{index}-{j}") for j in range(clients_per_room)
+        ]
+        for client in room:
+            client.join(doc_id)
+        clients[doc_id] = room
+    harness.run()
+
+    streams = {
+        doc_id: consultation_events(
+            records[doc_id], num_events=events_per_room, seed=37 + seed + index
+        )
+        for index, doc_id in enumerate(docs)
+    }
+    third = max(1, events_per_room // 3)
+
+    # Phase 1: a stable baseline, drained before any window opens.
+    for doc_id in docs:
+        for path, value in streams[doc_id][:third]:
+            clients[doc_id][0].choose(path, value)
+    harness.run()
+
+    base = harness.clock.now  # timeline anchor: phase 1 fully drained
+    victim = harness.owner_of(crash_owner_of) if crash_owner_of else None
+    if partition:
+        if plan is None:
+            raise ValueError("partition=True needs a FaultPlan to carry the window")
+        # Cut the gateway off from one shard that is NOT the crash
+        # victim: the partition must be survivable by retries alone.
+        target = next(s for s in sorted(harness.shards) if s != victim)
+        plan.partition(
+            {harness.gateway.node_id},
+            {target},
+            base + PARTITION_START,
+            base + PARTITION_END,
+        )
+
+    harness.start(until=base + horizon)
+
+    def phase2() -> None:
+        for doc_id in docs:
+            for path, value in streams[doc_id][third : 2 * third]:
+                clients[doc_id][0].choose(path, value)
+
+    def phase3() -> None:
+        for doc_id in docs:
+            for path, value in streams[doc_id][2 * third :]:
+                clients[doc_id][1].choose(path, value)
+
+    harness.clock.schedule_at(base + PHASE2_AT, phase2)
+    if victim is not None:
+        harness.schedule_crash(victim, base + CRASH_AT)
+    harness.clock.schedule_at(base + PHASE3_AT, phase3)
+    harness.run()
+
+    all_clients = [client for room in clients.values() for client in room]
+    return {
+        "harness": harness,
+        "victim": victim,
+        "displayed": {c.viewer_id: c.displayed() for c in all_clients},
+        "fully_rendered": {c.viewer_id: c.fully_rendered() for c in all_clients},
+        "errors": [
+            {"viewer": c.viewer_id, **error}
+            for c in all_clients
+            for error in c.errors
+        ],
+        "delivery_failures": [
+            {
+                "sender": failure.sender,
+                "recipient": failure.recipient,
+                "kind": failure.kind,
+                "reason": failure.reason,
+            }
+            for failure in harness.network.delivery_failures
+        ],
+        "injected": (
+            harness.network.injected_counts()
+            if hasattr(harness.network, "injected_counts")
+            else {}
+        ),
+        "failovers": list(harness.gateway.failovers),
+        "network_messages": harness.network.stats.messages,
+        "network_bytes": harness.network.stats.bytes_total,
+        "sim_seconds": harness.clock.now,
+    }

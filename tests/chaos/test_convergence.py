@@ -1,0 +1,36 @@
+"""The acceptance gate: chaos runs converge byte-identically to control.
+
+The full five-seed sweep runs in CI as
+``python -m repro.chaos.convergence --seeds 1 2 3 4 5 --quick``; here we
+keep the suite fast with two seeds in quick mode and spot-check the
+report shape and the CLI exit codes.
+"""
+
+from repro.chaos.convergence import main, run_convergence
+
+
+def test_two_seeds_converge_to_control(tmp_path):
+    report = run_convergence(str(tmp_path), seeds=(1, 2), quick=True)
+    assert report["ok"], report
+    for seed in (1, 2):
+        entry = report["seeds"][seed]
+        assert entry["converged"]
+        assert entry["errors"] == []
+        assert entry["delivery_failures"] == []
+        # Chaos must demonstrably have been on, and repaired.
+        assert sum(entry["injected"].values()) > 0
+        assert entry["retries"] > 0
+        # The primary crash forced exactly one failover.
+        assert entry["failovers"] == 1
+        assert entry["victim"] is not None
+    # The control itself finished a full conference without errors.
+    assert report["control"]["errors"] == []
+    assert report["control"]["displayed"]
+
+
+def test_cli_reports_success(tmp_path, capsys):
+    status = main(["--seeds", "3", "--quick", "--root", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "seed 3: ok" in out
+    assert "converged to the control run" in out

@@ -8,13 +8,15 @@ import pytest
 from repro.db import Column, Database, INTEGER, TEXT, TableSchema
 from repro.db.journal import (
     BEGIN,
+    CHECKPOINT,
     COMMIT,
     INSERT,
     Journal,
     JournalRecord,
     UPDATE,
 )
-from repro.errors import TransactionError
+from repro.errors import CrashInjected, TransactionError
+from repro.util.failpoints import use_failpoints
 
 
 @pytest.fixture
@@ -207,3 +209,111 @@ class TestCrashRecoveryAtByteOffsets:
         db = Database(source, checkpoint_journal_bytes=None)
         assert _names(db) == ["alpha", "beta", "delta", "epsilon", "gamma", "zeta"]
         db.close()
+
+
+class TestFailpointCrashes:
+    """The ``journal.append`` failpoint: torn and duplicated tail lines.
+
+    These reproduce the two classic append-crash artifacts *through the
+    production write path* (not by editing bytes after the fact) and
+    assert that recovery honours the transaction framing: an uncommitted
+    tail vanishes, a duplicated line applies once.
+    """
+
+    def test_torn_append_crashes_and_recovery_drops_the_tail(self, tmp_path):
+        path = str(tmp_path / "journal.log")
+        journal = Journal(path)
+        journal.begin()
+        journal.log(INSERT, {"n": 1})
+        journal.commit()
+        with use_failpoints() as fp:
+            fp.arm("journal.append", mode="torn", match={"op": COMMIT})
+            journal = Journal(path)
+            journal.begin()
+            journal.log(INSERT, {"n": 2})
+            with pytest.raises(CrashInjected):
+                journal.commit()  # dies halfway through the commit line
+        recovered = Journal(path)
+        ops = recovered.committed_operations()
+        # The torn commit never became durable: only txn 1 replays.
+        assert [op.data["n"] for op in ops] == [1]
+        # And the torn bytes are really on disk (a half line at the tail).
+        with open(path, "rb") as file:
+            assert not file.read().endswith(b"\n")
+        recovered.close()
+
+    def test_duplicated_tail_line_applies_once(self, tmp_path):
+        path = str(tmp_path / "journal.log")
+        with use_failpoints() as fp:
+            fp.arm("journal.append", mode="duplicate", match={"op": COMMIT})
+            journal = Journal(path)
+            journal.begin()
+            journal.log(INSERT, {"n": 1})
+            with pytest.raises(CrashInjected):
+                journal.commit()
+        # The commit line is on disk twice; replay sees both...
+        recovered = Journal(path)
+        raw_ops = [record.op for record in recovered.replay()]
+        assert raw_ops == [BEGIN, INSERT, COMMIT, COMMIT]
+        # ...but committed_operations collapses the duplicate: one apply.
+        ops = recovered.committed_operations()
+        assert [op.data["n"] for op in ops] == [1]
+        recovered.close()
+
+    def test_duplicated_mutation_line_applies_once(self, tmp_path):
+        path = str(tmp_path / "journal.log")
+        with use_failpoints() as fp:
+            fp.arm("journal.append", mode="duplicate", match={"op": INSERT})
+            journal = Journal(path)
+            journal.begin()
+            with pytest.raises(CrashInjected):
+                journal.log(INSERT, {"n": 1})
+        # Crash-retry: reopen, re-run the transaction to completion.
+        journal = Journal(path)
+        journal.begin()
+        journal.log(INSERT, {"n": 1})
+        journal.commit()
+        ops = journal.committed_operations()
+        # The duplicated (uncommitted) first attempt is discarded; the
+        # retried transaction applies exactly once.
+        assert [op.data["n"] for op in ops] == [1]
+        journal.close()
+
+    def test_unarmed_failpoint_is_free(self, tmp_path):
+        with use_failpoints() as fp:
+            journal = Journal(str(tmp_path / "journal.log"))
+            journal.begin()
+            journal.log(INSERT, {"n": 1})
+            journal.commit()
+            assert fp.hits["journal.append"] == 3  # begin + insert + commit
+            assert fp.fired == []
+            journal.close()
+
+
+class TestRecoveryAfterCheckpoint:
+    def test_begin_without_commit_after_checkpoint_is_discarded(self, journal):
+        journal.begin()
+        journal.log(INSERT, {"n": 1})
+        journal.commit()
+        journal.checkpoint()
+        journal.begin()
+        journal.log(INSERT, {"n": 2})
+        # Crash before commit: replay must yield nothing (the snapshot
+        # covers txn 1; txn 2 never committed).
+        assert journal.committed_operations() == []
+
+    def test_open_transaction_spanning_a_checkpoint_never_replays(self, tmp_path):
+        # checkpoint() refuses inside a transaction, so the only way a
+        # BEGIN can precede a CHECKPOINT is via an interleaved file from
+        # a crashed writer. committed_operations must not resurrect it.
+        path = str(tmp_path / "journal.log")
+        with open(path, "wb") as file:
+            file.write(JournalRecord(BEGIN, 1, {}).to_line())
+            file.write(JournalRecord(INSERT, 1, {"n": 1}).to_line())
+            file.write(JournalRecord(CHECKPOINT, 0, {}).to_line())
+            file.write(JournalRecord(COMMIT, 1, {}).to_line())
+        journal = Journal(path)
+        # The checkpoint wiped the pending set: txn 1's late commit finds
+        # nothing to promote.
+        assert journal.committed_operations() == []
+        journal.close()

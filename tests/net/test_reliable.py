@@ -1,0 +1,236 @@
+"""The ARQ layer: retry, dedup, ordering, corruption, bounded failure."""
+
+import pytest
+
+from repro import obs
+from repro.errors import DeliveryFailed
+from repro.net import (
+    Link,
+    Message,
+    NET_ACK,
+    RetryPolicy,
+    SimulatedNetwork,
+    payload_checksum,
+)
+from repro.net.link import MBPS
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        log = obs.EventLog()
+        with obs.use_event_log(log):
+            yield registry, log
+
+
+class Recorder:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.received = []
+        self.failures = []
+
+    def receive(self, message):
+        self.received.append(message)
+
+    def on_delivery_failed(self, error):
+        self.failures.append(error)
+
+
+class LossyNetwork(SimulatedNetwork):
+    """Drop / mangle scripted transmissions (by transmission index)."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.drop_next = set()
+        self.corrupt_next = set()
+        self.sent = 0
+
+    def _transmit(self, message):
+        index = self.sent
+        self.sent += 1
+        if index in self.drop_next:
+            return
+        if index in self.corrupt_next:
+            message = Message(
+                sender=message.sender, recipient=message.recipient,
+                kind=message.kind, payload={"mangled": True},
+                size_bytes=message.size_bytes, seq=message.seq,
+                checksum=message.checksum, attempt=message.attempt,
+            )
+        super()._transmit(message)
+
+
+def rig(network_cls=SimulatedNetwork, **kwargs):
+    network = network_cls(reliability=True, **kwargs)
+    hub = Recorder("server")
+    client = Recorder("c1")
+    network.attach_hub(hub)
+    network.attach_client(client, uplink=Link(), downlink=Link())
+    return network, hub, client
+
+
+class TestHappyPath:
+    def test_frames_carry_seq_and_checksum(self):
+        network, hub, _ = rig()
+        message = network.send("c1", "server", "choice", {"v": 1}, size_bytes=10)
+        assert message.seq == 1 and message.checksum is not None
+        network.run()
+        assert [m.kind for m in hub.received] == ["choice"]
+
+    def test_acks_are_consumed_by_the_transport(self):
+        network, hub, client = rig()
+        network.send("c1", "server", "choice", {"v": 1}, size_bytes=10)
+        network.run()
+        # The client never sees the ack as an application message.
+        assert all(m.kind != NET_ACK for m in client.received)
+        assert network.reliability.in_flight == 0
+
+    def test_seq_is_per_directed_pair(self):
+        network, _, _ = rig()
+        a = network.send("c1", "server", "choice", {}, size_bytes=1)
+        b = network.send("server", "c1", "payload", {}, size_bytes=1)
+        c = network.send("c1", "server", "choice", {}, size_bytes=1)
+        assert (a.seq, b.seq, c.seq) == (1, 1, 2)
+
+    def test_unreliable_kinds_skip_sequencing_but_keep_checksums(self):
+        network, _, _ = rig()
+        message = network.send("c1", "server", "heartbeat", {"n": "c1"}, size_bytes=8)
+        assert message.seq is None
+        assert message.checksum == payload_checksum("heartbeat", {"n": "c1"})
+        network.run()
+        assert network.reliability.in_flight == 0
+
+
+class TestRetry:
+    def test_dropped_frame_is_retransmitted(self, fresh_obs):
+        registry, _ = fresh_obs
+        network, hub, _ = rig(LossyNetwork)
+        network.drop_next = {0}  # first transmission lost
+        network.send("c1", "server", "choice", {"v": 1}, size_bytes=10)
+        network.run()
+        assert [m.payload for m in hub.received] == [{"v": 1}]
+        assert hub.received[0].attempt == 1  # the retry delivered it
+        counters = registry.snapshot()["counters"]
+        assert counters['net.retries{kind="choice"}'] == 1
+
+    def test_lost_ack_causes_dup_which_is_dropped(self, fresh_obs):
+        registry, _ = fresh_obs
+        network, hub, _ = rig(LossyNetwork)
+        network.drop_next = {1}  # the ack of the first frame
+        network.send("c1", "server", "choice", {"v": 1}, size_bytes=10)
+        network.run()
+        # Delivered once to the application despite the retransmission.
+        assert [m.payload for m in hub.received] == [{"v": 1}]
+        counters = registry.snapshot()["counters"]
+        assert counters['net.dup_dropped{kind="choice"}'] == 1
+        assert network.reliability.in_flight == 0
+
+    def test_total_loss_surfaces_delivery_failed_within_budget(self):
+        policy = RetryPolicy(base_timeout_s=0.05, max_attempts=4)
+        network = LossyNetwork(reliability=policy)
+        hub, client = Recorder("server"), Recorder("c1")
+        network.attach_hub(hub)
+        network.attach_client(client)
+        network.drop_next = set(range(10_000))  # 100% loss, forever
+        network.send("c1", "server", "choice", {"v": 1}, size_bytes=10)
+        events = network.run()
+        # Terminates (no livelock) and surfaces the typed error both ways.
+        assert events > 0
+        assert len(network.delivery_failures) == 1
+        failure = network.delivery_failures[0]
+        assert isinstance(failure, DeliveryFailed)
+        assert failure.reason == "retry_budget_exhausted"
+        assert failure.attempts == 4
+        assert client.failures == [failure]
+        assert hub.received == []
+
+    def test_recipient_detach_fails_fast_not_forever(self):
+        network, hub, client = rig()
+        network.send("server", "c1", "payload", {}, size_bytes=10)
+        network.detach_client("c1")  # departs with the frame in flight
+        network.run()
+        assert [f.reason for f in network.delivery_failures] == ["recipient_detached"]
+        assert client.received == []
+
+
+class TestOrderingAndCorruption:
+    def test_reordered_frames_are_held_back_and_delivered_in_order(self):
+        class Swapper(SimulatedNetwork):
+            """Deliver the second transmission before the first."""
+
+            def __init__(self, **kwargs):
+                super().__init__(**kwargs)
+                self.delay_first = True
+
+            def _transmit(self, message):
+                if self.delay_first and message.kind == "choice":
+                    self.delay_first = False
+                    self.clock.schedule(
+                        0.5, lambda: SimulatedNetwork._transmit(self, message)
+                    )
+                    return
+                super()._transmit(message)
+
+        network = Swapper(reliability=True)
+        hub, client = Recorder("server"), Recorder("c1")
+        network.attach_hub(hub)
+        network.attach_client(client)
+        network.send("c1", "server", "choice", {"n": 1}, size_bytes=5)
+        network.send("c1", "server", "choice", {"n": 2}, size_bytes=5)
+        network.run()
+        assert [m.payload["n"] for m in hub.received] == [1, 2]
+        assert [m.seq for m in hub.received] == [1, 2]
+
+    def test_corrupt_frame_is_quarantined_and_repaired(self, fresh_obs):
+        registry, _ = fresh_obs
+        network, hub, _ = rig(LossyNetwork)
+        network.corrupt_next = {0}
+        network.send("c1", "server", "choice", {"v": "good"}, size_bytes=10)
+        network.run()
+        # The mangled frame never reached the application; the retry did.
+        assert [m.payload for m in hub.received] == [{"v": "good"}]
+        counters = registry.snapshot()["counters"]
+        assert counters["net.corrupt_dropped"] == 1
+
+    def test_without_reliability_corruption_goes_undetected(self):
+        network = LossyNetwork()  # no reliability layer
+        hub, client = Recorder("server"), Recorder("c1")
+        network.attach_hub(hub)
+        network.attach_client(client)
+        network.corrupt_next = {0}
+        network.send("c1", "server", "choice", {"v": "good"}, size_bytes=10)
+        network.run()
+        assert [m.payload for m in hub.received] == [{"mangled": True}]
+
+
+class TestRttAwareTimeouts:
+    def test_slow_transfer_does_not_trigger_spurious_retry(self, fresh_obs):
+        registry, _ = fresh_obs
+        # 4 MB over 10 Mbps ≈ 3.2 s — far beyond the 0.2 s base timeout.
+        network = SimulatedNetwork(reliability=True)
+        hub, client = Recorder("server"), Recorder("c1")
+        network.attach_hub(hub)
+        network.attach_client(client, downlink=Link(bandwidth_bps=10 * MBPS))
+        network.send("server", "c1", "payload", {"k": 1}, size_bytes=4_000_000)
+        network.run()
+        assert [m.payload for m in client.received] == [{"k": 1}]
+        counters = registry.snapshot()["counters"]
+        assert counters.get('net.retries{kind="payload"}', 0) == 0
+
+
+class TestDetachPeerLinks:
+    def test_detach_removes_stale_backbone_peer_links(self):
+        network = SimulatedNetwork()
+        network.attach_hub(Recorder("hub"))
+        a, b = Recorder("s1"), Recorder("s2")
+        network.attach_backbone(a)
+        network.attach_backbone(b)
+        custom = Link(bandwidth_bps=1 * MBPS)
+        network.set_peer_link("s1", "s2", custom)
+        assert network._peer_link("s1", "s2") is custom
+        network.detach_client("s1")
+        assert all("s1" not in pair for pair in network._peer_links)
+        # Reattaching a node with the same id starts from clean links.
+        network.attach_backbone(Recorder("s1"))
+        assert network._peer_link("s1", "s2") is not custom

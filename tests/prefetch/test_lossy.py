@@ -1,0 +1,139 @@
+"""Lossy-link replay and §4.4 degradation in the prefetch simulator."""
+
+import pytest
+
+from repro import obs
+from repro.document import build_sample_medical_record
+from repro.errors import PrefetchError
+from repro.prefetch import POLICY_NONE, PrefetchSimulator
+from repro.presentation import (
+    BANDWIDTH_LOW,
+    BANDWIDTH_MEDIUM,
+    install_bandwidth_tuning,
+)
+from repro.workloads import consultation_events, generate_record
+
+
+def make_doc():
+    return generate_record("sim", sections=4, components_per_section=3, seed=2)
+
+
+def make_events(doc, num=15, seed=7):
+    return consultation_events(doc, num_events=num, rationality=0.9, seed=seed)
+
+
+def run(doc, events=None, **kwargs):
+    simulator = PrefetchSimulator(
+        doc, policy=POLICY_NONE, buffer_bytes=3_000_000,
+        bandwidth_bps=2_000_000, think_time_s=4.0, seed=1, **kwargs
+    )
+    return simulator.run(events if events is not None else make_events(doc))
+
+
+class TestLossyLink:
+    def test_loss_rate_validated(self):
+        with pytest.raises(PrefetchError, match="loss_rate"):
+            PrefetchSimulator(make_doc(), loss_rate=1.0)
+        with pytest.raises(PrefetchError, match="loss_rate"):
+            PrefetchSimulator(make_doc(), loss_rate=-0.1)
+
+    def test_zero_loss_means_zero_retries(self):
+        report = run(make_doc())
+        assert report.retries == 0
+
+    def test_loss_inflates_waits_and_counts_retries(self):
+        doc = make_doc()
+        events = make_events(doc)
+        clean = run(doc, events=events)
+        lossy = run(make_doc(), events=events, loss_rate=0.4)
+        assert lossy.retries > 0
+        assert lossy.total_wait_s > clean.total_wait_s
+
+    def test_lossy_replay_is_seeded(self):
+        doc_a, doc_b = make_doc(), make_doc()
+        events = make_events(doc_a)
+        a = run(doc_a, events=events, loss_rate=0.3)
+        b = run(doc_b, events=make_events(doc_b), loss_rate=0.3)
+        assert a.retries == b.retries
+        assert a.waits == b.waits
+
+
+#: A consultation that walks the record section by section. Every re-shown
+#: section re-demands its children at their CPT-preferred presentation —
+#: heavy forms (flat CT, ECG trace) unless the tuning evidence has
+#: re-partitioned the preference orders toward affordable ones.
+SECTION_WALK = [
+    ("imaging", "hidden"),
+    ("consult", "hidden"),
+    ("imaging", "shown"),
+    ("consult", "shown"),
+    ("labs", "hidden"),
+    ("labs", "shown"),
+    ("labs", "hidden"),
+    ("labs", "shown"),
+]
+
+
+def tuned_doc(tuned=True):
+    doc = build_sample_medical_record()
+    if tuned:
+        install_bandwidth_tuning(doc)
+    return doc
+
+
+def walk(doc, **kwargs):
+    # The buffer is smaller than the ECG trace (96 KiB): revisited
+    # sections genuinely re-fetch over the lossy link.
+    simulator = PrefetchSimulator(
+        doc, policy=POLICY_NONE, buffer_bytes=64_000,
+        bandwidth_bps=2_000_000, think_time_s=4.0, seed=1, **kwargs
+    )
+    return simulator.run(SECTION_WALK)
+
+
+class TestDegradation:
+    def test_overlong_waits_step_tuning_down(self):
+        report = walk(
+            tuned_doc(), loss_rate=0.5, degrade_on_loss=True, degrade_wait_s=0.25
+        )
+        assert report.degradations  # (event index, level) trail
+        assert report.tuning_level in (BANDWIDTH_MEDIUM, BANDWIDTH_LOW)
+        levels = [level for _, level in report.degradations]
+        # Steps go strictly downward, never skipping MEDIUM: the first
+        # over-budget wait steps high→medium, a later one medium→low.
+        assert levels in ([BANDWIDTH_MEDIUM], [BANDWIDTH_MEDIUM, BANDWIDTH_LOW])
+
+    def test_degradation_reduces_total_wait(self):
+        stoic = walk(tuned_doc(), loss_rate=0.5)
+        adaptive = walk(
+            tuned_doc(), loss_rate=0.5,
+            degrade_on_loss=True, degrade_wait_s=0.25,
+        )
+        # Same seeded loss; stepping the tuning down re-partitions heavy
+        # components toward affordable presentations, so re-shown sections
+        # demand icons and transcripts instead of full scans and audio.
+        assert adaptive.degradations
+        assert adaptive.total_wait_s < stoic.total_wait_s
+
+    def test_untuned_document_never_degrades(self):
+        report = walk(
+            tuned_doc(tuned=False), loss_rate=0.5,
+            degrade_on_loss=True, degrade_wait_s=0.25,
+        )
+        assert report.degradations == []
+        assert report.tuning_level is None
+
+    def test_disabled_by_default(self):
+        report = walk(tuned_doc(), loss_rate=0.5, degrade_wait_s=0.25)
+        assert report.degradations == []
+
+    def test_metrics_published(self):
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            walk(
+                tuned_doc(), loss_rate=0.5,
+                degrade_on_loss=True, degrade_wait_s=0.25,
+            )
+        counters = registry.snapshot()["counters"]
+        assert counters["prefetch.retries"] > 0
+        assert counters["prefetch.degradations"] > 0
