@@ -75,6 +75,8 @@ def run_sweep_point(tmp_path, loss_rate, tag):
             "identical": writer.displayed() == reader.displayed(),
             "errors": writer.errors + reader.errors,
             "failures": list(network.delivery_failures),
+            "encodes": counters.get("codec.encodes", 0),
+            "encodes_saved": counters.get("codec.encodes_saved", 0),
         }
         db.close()
     # Mirror the isolated run's transport counters into the ambient
@@ -82,7 +84,7 @@ def run_sweep_point(tmp_path, loss_rate, tag):
     # (benchmarks/metrics/) reflects the sweep.
     ambient = obs.get_registry()
     for key, value in counters.items():
-        if value and key.startswith(("net.", "chaos.")):
+        if value and key.startswith(("net.", "chaos.", "codec.")):
             ambient.counter(key.split("{")[0]).inc(value)
     return out
 
@@ -122,6 +124,17 @@ def test_goodput_vs_loss_rate(benchmark, report, tmp_path):
         ],
         rows,
     )
+    report.line(
+        "  codec: "
+        + "; ".join(
+            f"{rate:.0%} loss = {results[rate]['encodes']} encodes / "
+            f"{results[rate]['encodes_saved']} reuses"
+            for rate in LOSS_RATES
+        )
+    )
+    # Loss costs retransmissions but never re-serialization: the harsher
+    # rates reuse *more* cached frames, not encode more.
+    assert results[0.30]["encodes_saved"] > results[0.0]["encodes_saved"]
     for rate in LOSS_RATES:
         r = results[rate]
         # Exactly-once of everything acked: the viewers never disagree

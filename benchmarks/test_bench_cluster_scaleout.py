@@ -11,6 +11,7 @@ two shards sustain strictly more throughput than one.
 import pytest
 
 from conftest import QUICK
+from repro import obs
 from repro.db import Database, MultimediaObjectStore
 from repro.workloads import run_cluster_conference
 
@@ -38,7 +39,9 @@ def run_scaleout(tmp_path, num_shards, tag):
 
 
 def test_scaleout_throughput(benchmark, report, tmp_path):
+    codec_before = obs.snapshot()["counters"]
     results = {n: run_scaleout(tmp_path, n, f"s{n}") for n in SHARD_COUNTS}
+    codec_after = obs.snapshot()["counters"]
     benchmark.pedantic(
         run_scaleout, args=(tmp_path, 2, "bench"), rounds=1 if QUICK else 2
     )
@@ -60,6 +63,15 @@ def test_scaleout_throughput(benchmark, report, tmp_path):
         ["shards", "events/sim-s", "makespan (s)", "speedup", "net bytes"],
         rows,
     )
+    encodes = codec_after.get("codec.encodes", 0) - codec_before.get("codec.encodes", 0)
+    saved = codec_after.get("codec.encodes_saved", 0) - codec_before.get(
+        "codec.encodes_saved", 0
+    )
+    report.line(
+        f"  codec across the sweep: {encodes} encodes, {saved} frame reuses "
+        f"(fan-out + envelope embedding + retransmits)"
+    )
+    assert saved > 0  # the cluster paths share frames instead of re-encoding
     for n in SHARD_COUNTS:
         assert not results[n]["errors"], results[n]["errors"]
     # The acceptance claim: sharding buys real propagation throughput.

@@ -15,6 +15,7 @@ from repro.errors import ClientError
 from repro import obs
 from repro.client.buffer import ClientBuffer, entry_key
 from repro.client.view import RenderTree
+from repro.net.codec import StringInterner, encode_message
 from repro.net.message import Message
 from repro.net.network import SimulatedNetwork
 from repro.presentation.tuning import (
@@ -22,7 +23,7 @@ from repro.presentation.tuning import (
     BANDWIDTH_MEDIUM,
     TUNING_VARIABLE,
 )
-from repro.server.protocol import MessageKind, encoded_size
+from repro.server.protocol import MessageKind
 
 DEFAULT_BUFFER_BYTES = 64 * 1024 * 1024
 
@@ -67,6 +68,11 @@ class ClientModule:
         self.degraded_components: list[str] = []
         self._tuning_level: str | None = None
         self._tuning_unsupported = False
+        # Per-connection dynamic string table for the uplink (the client
+        # speaks to one hub over one reliable in-order stream): repeated
+        # non-vocabulary strings — session ids, component paths — shrink
+        # to 2-byte references after their first frame.
+        self._wire_table = StringInterner()
         self.updates_received = 0
         self.join_time: float | None = None
         self.join_latency: float | None = None
@@ -77,6 +83,10 @@ class ClientModule:
 
     def join(self, doc_id: str) -> None:
         self.join_time = self._now()
+        # A (re)join is a new logical connection: the dynamic string
+        # table starts empty, so the server never has to remember a
+        # previous incarnation's table to decode this one.
+        self._wire_table.reset()
         self._send(MessageKind.JOIN, {"viewer_id": self.viewer_id, "doc_id": doc_id})
 
     def leave(self) -> None:
@@ -148,9 +158,9 @@ class ClientModule:
     def _send(self, kind: str, payload: dict[str, Any]) -> None:
         if self.network is None:
             raise ClientError("client is not attached to a network")
+        frame = encode_message(kind, payload, interner=self._wire_table)
         self.network.send(
-            self.node_id, self.network.hub_id, kind,
-            payload=payload, size_bytes=encoded_size(payload),
+            self.node_id, self.network.hub_id, kind, payload=payload, frame=frame
         )
 
     def _now(self) -> float:

@@ -14,10 +14,11 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from repro.errors import ClientError
+from repro.net.codec import StringInterner, encode_message
 from repro.net.message import Message
 from repro.net.network import SimulatedNetwork
 from repro.obs.dashboard import render_dashboard
-from repro.server.protocol import MessageKind, encoded_size
+from repro.server.protocol import MessageKind
 
 
 def _merge_histogram(into: dict[str, Any], delta: dict[str, Any]) -> dict[str, Any]:
@@ -77,6 +78,7 @@ class TelemetryMonitor:
         self.network = network
         self.session_id: str | None = None
         self.interval: float | None = None
+        self._wire_table = StringInterner()  # per-connection uplink table
         #: TELEMETRY payloads in arrival order (each holds one diff).
         self.snapshots: list[dict[str, Any]] = []
         #: Event dicts in arrival order (the flight recorder's wire form).
@@ -86,6 +88,7 @@ class TelemetryMonitor:
 
     def connect(self) -> None:
         """Register with the server as a monitor session."""
+        self._wire_table.reset()  # new logical connection, fresh table
         self._send(MessageKind.MONITOR, {"viewer_id": self.viewer_id})
 
     def disconnect(self) -> None:
@@ -97,9 +100,9 @@ class TelemetryMonitor:
     def _send(self, kind: str, payload: dict[str, Any]) -> None:
         if self.network is None:
             raise ClientError("monitor is not attached to a network")
+        frame = encode_message(kind, payload, interner=self._wire_table)
         self.network.send(
-            self.node_id, self.network.hub_id, kind,
-            payload=payload, size_bytes=encoded_size(payload),
+            self.node_id, self.network.hub_id, kind, payload=payload, frame=frame
         )
 
     # ----- responses ------------------------------------------------------------------

@@ -20,11 +20,12 @@ from repro import obs
 from repro.errors import ClusterError
 from repro.cluster.failover import FailureDetector, schedule_periodic
 from repro.cluster.ring import HashRing
-from repro.cluster.wire import shardbound_size, shardbound_wrapper
+from repro.cluster.wire import encode_shardbound, shardbound_wrapper
+from repro.net.codec import Frame, StringInterner, encode_message
 from repro.net.message import Message
 from repro.net.network import SimulatedNetwork
 from repro.obs import LATENCY_BUCKETS
-from repro.server.protocol import MessageKind, encoded_size
+from repro.server.protocol import MessageKind
 from repro.server.session import Session
 from repro.util.ids import IdGenerator
 
@@ -54,6 +55,10 @@ class Gateway:
         self._dead: set[str] = set()
         self._session_route: dict[str, str] = {}  # session -> shard
         self._session_key: dict[str, str] = {}    # session -> sharding key (doc)
+        # Per-shard dynamic string tables for ROUTE envelope headers: the
+        # gateway↔shard path is a reliable in-order channel, so repeated
+        # client node ids compress to references after their first frame.
+        self._shard_tables: dict[str, StringInterner] = {}
         self._pending_failover: dict[tuple[str, str], float] = {}
         #: completed failovers, in order: primary/promoted/started/completed.
         self.failovers: list[dict[str, Any]] = []
@@ -90,6 +95,7 @@ class Gateway:
             raise ClusterError(f"shard {shard_id!r} already registered")
         self._shards.add(shard_id)
         self.ring.add_node(shard_id)
+        self._shard_tables[shard_id] = StringInterner()
         self.detector.watch(shard_id, self.network.clock.now)
         self._g_shards.set(len(self.live_shards))
         self._emit("cluster.shard_registered", shard=shard_id)
@@ -139,6 +145,7 @@ class Gateway:
         self._dead.add(shard_id)
         self.detector.forget(shard_id)
         self.ring.remove_node(shard_id)
+        self._shard_tables.pop(shard_id, None)  # dead channel, dead table
         self._g_shards.set(len(self.live_shards))
         self._emit(
             "cluster.shard_dead", severity="WARN", shard=shard_id, last_beat=last_beat
@@ -166,10 +173,7 @@ class Gateway:
             promotions[new_owner] = promotions.get(new_owner, 0) + 1
         for new_owner in sorted(promotions):
             body = {"primary": shard_id}
-            self.network.send(
-                self.node_id, new_owner, MessageKind.PROMOTE,
-                payload=body, size_bytes=encoded_size(body),
-            )
+            self._send_framed(new_owner, MessageKind.PROMOTE, body)
             self._pending_failover[(shard_id, new_owner)] = now
             self._emit(
                 "cluster.promote_sent",
@@ -232,24 +236,26 @@ class Gateway:
             elif kind == MessageKind.LEAVE and payload.get("session_id") in self._monitors:
                 self._disconnect_monitor(payload["session_id"])
             elif kind in MessageKind.CLIENT_KINDS:
-                self._route_client(message.sender, kind, payload)
+                self._route_client(message.sender, kind, payload, frame=message.frame)
             else:
                 raise ClusterError(f"unexpected message kind {kind!r} at gateway")
         except Exception as exc:
             self._m_route_errors.inc()
             if self.network.has_node(message.sender) and message.sender not in self._shards:
                 body = {"error": type(exc).__name__, "detail": str(exc)}
-                self.network.send(
-                    self.node_id, message.sender, MessageKind.ERROR,
-                    payload=body, size_bytes=encoded_size(body),
-                )
+                self._send_framed(message.sender, MessageKind.ERROR, body)
             else:
                 raise
         finally:
             self.push_telemetry(force=False)
 
     def _route_client(
-        self, sender_node: str, kind: str, payload: dict[str, Any], attempt: int = 0
+        self,
+        sender_node: str,
+        kind: str,
+        payload: dict[str, Any],
+        attempt: int = 0,
+        frame: Frame | None = None,
     ) -> None:
         if kind == MessageKind.JOIN:
             shard = self.ring.owner(payload["doc_id"])
@@ -265,12 +271,18 @@ class Gateway:
             # re-homes the key. Park the op and retry with backoff — the
             # route is re-resolved on every attempt, so a completed
             # failover picks up the promoted shard transparently.
-            self._retry_route(sender_node, kind, payload, attempt)
+            self._retry_route(sender_node, kind, payload, attempt, frame)
             return
+        # The envelope embeds the client's already-encoded frame as
+        # opaque bytes — routing re-serializes nothing.
         wrapper = shardbound_wrapper(sender_node, kind, payload)
-        size = shardbound_size(wrapper)
+        envelope = encode_shardbound(
+            wrapper, inner=frame, interner=self._shard_tables.get(shard)
+        )
+        size = envelope.size_bytes
         self.network.send(
-            self.node_id, shard, MessageKind.ROUTE, payload=wrapper, size_bytes=size
+            self.node_id, shard, MessageKind.ROUTE,
+            payload=wrapper, size_bytes=size, frame=envelope,
         )
         self._m_routed_messages.inc()
         self._f_routed_bytes.labels(shard, "to_shard").inc(size)
@@ -281,7 +293,12 @@ class Gateway:
             self._g_sessions.set(len(self._session_route))
 
     def _retry_route(
-        self, sender_node: str, kind: str, payload: dict[str, Any], attempt: int
+        self,
+        sender_node: str,
+        kind: str,
+        payload: dict[str, Any],
+        attempt: int,
+        frame: Frame | None = None,
     ) -> None:
         if attempt >= self.route_retry_attempts:
             self._m_route_errors.inc()
@@ -294,10 +311,7 @@ class Gateway:
                     "error": "ClusterError",
                     "detail": f"no live shard for {kind!r} after {attempt} retries",
                 }
-                self.network.send(
-                    self.node_id, sender_node, MessageKind.ERROR,
-                    payload=body, size_bytes=encoded_size(body),
-                )
+                self._send_framed(sender_node, MessageKind.ERROR, body)
             return
         delay = self.route_retry_base_s * (2.0**attempt)
         self._m_route_retries.inc()
@@ -307,25 +321,29 @@ class Gateway:
         )
         self.network.clock.schedule(
             delay,
-            lambda: self._route_retry_tick(sender_node, kind, payload, attempt + 1),
+            lambda: self._route_retry_tick(
+                sender_node, kind, payload, attempt + 1, frame
+            ),
         )
 
     def _route_retry_tick(
-        self, sender_node: str, kind: str, payload: dict[str, Any], attempt: int
+        self,
+        sender_node: str,
+        kind: str,
+        payload: dict[str, Any],
+        attempt: int,
+        frame: Frame | None = None,
     ) -> None:
         # Outside receive()'s try block now (we're a clock callback): an
         # exception here would kill the whole simulation, so route errors
         # turn into client-facing ERROR frames the same way.
         try:
-            self._route_client(sender_node, kind, payload, attempt=attempt)
+            self._route_client(sender_node, kind, payload, attempt=attempt, frame=frame)
         except Exception as exc:
             self._m_route_errors.inc()
             if self.network.has_node(sender_node):
                 body = {"error": type(exc).__name__, "detail": str(exc)}
-                self.network.send(
-                    self.node_id, sender_node, MessageKind.ERROR,
-                    payload=body, size_bytes=encoded_size(body),
-                )
+                self._send_framed(sender_node, MessageKind.ERROR, body)
 
     def on_delivery_failed(self, error: Any) -> None:
         """The reliable layer gave up on one of the gateway's frames.
@@ -355,6 +373,9 @@ class Gateway:
         kind = wrapper["kind"]
         inner = wrapper["payload"]
         size = wrapper["size"]
+        # The shard rides its already-encoded inner frame inside the
+        # envelope; forwarding hands the same frame to the client link.
+        inner_frame = wrapper.get("frame")
         if kind == MessageKind.JOIN_ACK:
             self._session_route[inner["session_id"]] = shard_id
             self._session_key[inner["session_id"]] = inner["doc_id"]
@@ -364,7 +385,9 @@ class Gateway:
                 "gateway.client_gone", severity="WARN", node=to, kind=kind
             )
             return
-        self.network.send(self.node_id, to, kind, payload=inner, size_bytes=size)
+        self.network.send(
+            self.node_id, to, kind, payload=inner, size_bytes=size, frame=inner_frame
+        )
         self._m_routed_messages.inc()
         self._f_routed_bytes.labels(shard_id, "to_client").inc(size)
 
@@ -381,15 +404,10 @@ class Gateway:
             self._events.subscribe(self._on_event)
             self._telemetry_baseline = self._registry.snapshot()
         self._monitors[session.session_id] = session
-        self.network.send(
-            self.node_id, node_id, MessageKind.MONITOR_ACK,
-            payload={
-                "session_id": session.session_id,
-                "interval": self.telemetry_interval,
-            },
-            size_bytes=encoded_size(
-                {"session_id": session.session_id, "interval": self.telemetry_interval}
-            ),
+        self._send_framed(
+            node_id,
+            MessageKind.MONITOR_ACK,
+            {"session_id": session.session_id, "interval": self.telemetry_interval},
         )
         return session
 
@@ -424,19 +442,20 @@ class Gateway:
             if not self.network.has_node(monitor.node_id):
                 continue
             body = {"session_id": monitor.session_id, "at": now, "diff": delta}
-            self.network.send(
-                self.node_id, monitor.node_id, MessageKind.TELEMETRY,
-                payload=body, size_bytes=encoded_size(body),
-            )
+            self._send_framed(monitor.node_id, MessageKind.TELEMETRY, body)
             for event in events:
                 event_body = {"session_id": monitor.session_id, "event": event}
-                self.network.send(
-                    self.node_id, monitor.node_id, MessageKind.TELEMETRY_EVENT,
-                    payload=event_body, size_bytes=encoded_size(event_body),
+                self._send_framed(
+                    monitor.node_id, MessageKind.TELEMETRY_EVENT, event_body
                 )
         return len(self._monitors)
 
     # ----- misc ---------------------------------------------------------------------
+
+    def _send_framed(self, recipient: str, kind: str, body: dict[str, Any]) -> None:
+        """Encode once and send; the frame carries its own honest size."""
+        frame = encode_message(kind, body)
+        self.network.send(self.node_id, recipient, kind, payload=body, frame=frame)
 
     def _emit(self, name: str, severity: str = "INFO", **fields: Any) -> None:
         self._events.emit(name, severity=severity, at=self.network.clock.now, **fields)

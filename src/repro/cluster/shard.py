@@ -21,16 +21,17 @@ from repro.cluster.replication import LogEntry, ReplicaState, ShipLog
 from repro.cluster.ring import HashRing
 from repro.cluster.failover import schedule_periodic
 from repro.cluster.wire import (
-    clientbound_size,
     clientbound_wrapper,
+    encode_clientbound,
 )
 from repro.db.orm import MultimediaObjectStore
+from repro.net.codec import Frame, StringInterner, encode_message
 from repro.net.message import Message
 from repro.net.network import SimulatedNetwork
 from repro.net.simclock import SimClock
 from repro.server.interaction import InteractionServer
 from repro.server.permissions import PermissionPolicy
-from repro.server.protocol import MessageKind, encoded_size
+from repro.server.protocol import MessageKind
 from repro.util.failpoints import get_failpoints
 
 #: client message kind -> replicated op name (None = read-only, not logged)
@@ -94,9 +95,9 @@ class _GatewayTransport:
 
     def send(
         self, sender: str, recipient: str, kind: str, payload: Any = None,
-        size_bytes: int = 0,
+        size_bytes: int = 0, frame: Frame | None = None,
     ) -> None:
-        self._shard.route_to_client(recipient, kind, payload, size_bytes)
+        self._shard.route_to_client(recipient, kind, payload, size_bytes, frame)
 
 
 class _StandbyTransport(_GatewayTransport):
@@ -113,12 +114,14 @@ class _StandbyTransport(_GatewayTransport):
 
     def send(
         self, sender: str, recipient: str, kind: str, payload: Any = None,
-        size_bytes: int = 0,
+        size_bytes: int = 0, frame: Frame | None = None,
     ) -> None:
         if not self.live:
+            if frame is not None and size_bytes == 0:
+                size_bytes = frame.size_bytes
             self._shard.observe_standby_send(kind, size_bytes)
             return
-        super().send(sender, recipient, kind, payload, size_bytes)
+        super().send(sender, recipient, kind, payload, size_bytes, frame)
 
 
 class ShardServer:
@@ -158,6 +161,10 @@ class ShardServer:
         #: dies) can reconstruct the room instead of replaying from a gap.
         self._room_history: dict[str, list[tuple[str, dict[str, Any]]]] = {}
         self._replica_rooms: dict[str, set[str]] = {}  # replica -> bootstrapped keys
+        # Dynamic string table for clientbound ROUTE envelope headers on
+        # the reliable in-order shard→gateway channel (client node ids
+        # repeat on every response).
+        self._gw_table = StringInterner()
         self._capture: list[tuple[str, Any]] | None = None
         self._failpoints = get_failpoints()
         registry = obs.get_registry()
@@ -200,10 +207,13 @@ class ShardServer:
         def beat() -> bool:
             if not self.alive:
                 return False
+            # Heartbeats are unreliable (droppable) so they never touch
+            # the dynamic string table — each beat is a stateless frame.
             body = {"node": self.node_id, "at": clock.now}
+            frame = encode_message(MessageKind.HEARTBEAT, body)
             self.network.send(
                 self.node_id, self.gateway_id, MessageKind.HEARTBEAT,
-                payload=body, size_bytes=encoded_size(body),
+                payload=body, frame=frame,
             )
             return True
 
@@ -275,7 +285,12 @@ class ShardServer:
         return self.server  # unknown sessions error out here, routed back
 
     def route_to_client(
-        self, recipient: str, kind: str, payload: Any, size_bytes: int
+        self,
+        recipient: str,
+        kind: str,
+        payload: Any,
+        size_bytes: int,
+        frame: Frame | None = None,
     ) -> None:
         """Wrap one server→client send into a ROUTE envelope to the gateway."""
         if self._capture is not None:
@@ -283,9 +298,15 @@ class ShardServer:
         if not self.alive:
             return
         wrapper = clientbound_wrapper(recipient, kind, payload, size_bytes)
+        if frame is None:
+            frame = encode_message(kind, payload)
+        # Ride the inner frame inside the envelope so the gateway can
+        # forward the same encoding to the client link untouched.
+        wrapper["frame"] = frame
+        envelope, wire_size = encode_clientbound(wrapper, frame, self._gw_table)
         self.network.send(
             self.node_id, self.gateway_id, MessageKind.ROUTE,
-            payload=wrapper, size_bytes=clientbound_size(wrapper),
+            payload=wrapper, size_bytes=wire_size, frame=envelope,
         )
 
     def observe_standby_send(self, kind: str, size_bytes: int) -> None:
@@ -369,10 +390,11 @@ class ShardServer:
             "primary": self.node_id,
             "entries": [entry.to_wire() for entry in entries],
         }
-        size = encoded_size(body)
+        frame = encode_message(MessageKind.REPLICATE, body)
+        size = frame.size_bytes
         self.network.send(
             self.node_id, replica_id, MessageKind.REPLICATE,
-            payload=body, size_bytes=size,
+            payload=body, size_bytes=size, frame=frame,
         )
         if mode == "crash_after":
             self.crash()
@@ -417,9 +439,10 @@ class ShardServer:
             self._m_repl_applied.inc(applied)
         ack = {"seq": state.applied_seq, "replica": self.node_id}
         if self.network.has_node(primary_id):
+            frame = encode_message(MessageKind.ACK, ack)
             self.network.send(
                 self.node_id, primary_id, MessageKind.ACK,
-                payload=ack, size_bytes=encoded_size(ack),
+                payload=ack, frame=frame,
             )
 
     def _on_replay_gap(self, applied_seq: int, dropped: int) -> None:
@@ -481,9 +504,10 @@ class ShardServer:
             sessions=sessions,
         )
         body = {"promote": primary_id, "sessions": sessions}
+        frame = encode_message(MessageKind.ACK, body)
         self.network.send(
             self.node_id, self.gateway_id, MessageKind.ACK,
-            payload=body, size_bytes=encoded_size(body),
+            payload=body, frame=frame,
         )
 
     # ----- introspection ----------------------------------------------------------------

@@ -2,8 +2,9 @@
 
 A :class:`Predicate` evaluates against a row dict. The engine additionally
 asks predicates for *equality hints* (``column = constant`` facts implied
-by the predicate) so it can route lookups through secondary indexes
-instead of scanning — the classic sargable-predicate trick.
+by the predicate) and *range hints* (``low < column <= high`` bounds) so
+it can route lookups through secondary indexes instead of scanning — the
+classic sargable-predicate trick.
 """
 
 from __future__ import annotations
@@ -13,6 +14,10 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 Row = Mapping[str, Any]
+
+#: One range bound: ``(low, include_low, high, include_high)``; a ``None``
+#: endpoint means unbounded on that side.
+RangeHint = "tuple[Any, bool, Any, bool]"
 
 
 class Predicate:
@@ -29,6 +34,15 @@ class Predicate:
         """
         return {}
 
+    def range_hints(self) -> dict[str, tuple[Any, bool, Any, bool]]:
+        """``{column: (low, incl_low, high, incl_high)}`` implied bounds.
+
+        The same soundness rule as :meth:`equality_hints`: only bounds
+        every satisfying row obeys may be returned (AND intersects
+        bounds; OR and NOT yield none). ``None`` endpoints are open.
+        """
+        return {}
+
     def __and__(self, other: "Predicate") -> "Predicate":
         return And(self, other)
 
@@ -37,6 +51,27 @@ class Predicate:
 
     def __invert__(self) -> "Predicate":
         return Not(self)
+
+
+def _tighten(
+    a: tuple[Any, bool, Any, bool], b: tuple[Any, bool, Any, bool]
+) -> tuple[Any, bool, Any, bool]:
+    """Intersect two range bounds on one column (AND semantics).
+
+    The higher low and lower high win; on a tie the exclusive bound is
+    tighter. Incomparable endpoint types keep the first bound (a scan
+    routed through either bound is still sound — ``matches`` refilters).
+    """
+    low, incl_low, high, incl_high = a
+    b_low, b_incl_low, b_high, b_incl_high = b
+    try:
+        if low is None or (b_low is not None and (b_low, not b_incl_low) > (low, not incl_low)):
+            low, incl_low = (b_low, b_incl_low) if b_low is not None else (low, incl_low)
+        if high is None or (b_high is not None and (b_high, b_incl_high) < (high, incl_high)):
+            high, incl_high = (b_high, b_incl_high) if b_high is not None else (high, incl_high)
+    except TypeError:
+        return a
+    return (low, incl_low, high, incl_high)
 
 
 def _comparable(left: Any, right: Any) -> bool:
@@ -81,6 +116,9 @@ class Lt(Predicate):
         current = row.get(self.column)
         return _comparable(current, self.value) and current < self.value
 
+    def range_hints(self) -> dict[str, tuple[Any, bool, Any, bool]]:
+        return {self.column: (None, False, self.value, False)}
+
 
 @dataclass(frozen=True)
 class Le(Predicate):
@@ -90,6 +128,9 @@ class Le(Predicate):
     def matches(self, row: Row) -> bool:
         current = row.get(self.column)
         return _comparable(current, self.value) and current <= self.value
+
+    def range_hints(self) -> dict[str, tuple[Any, bool, Any, bool]]:
+        return {self.column: (None, False, self.value, True)}
 
 
 @dataclass(frozen=True)
@@ -101,6 +142,9 @@ class Gt(Predicate):
         current = row.get(self.column)
         return _comparable(current, self.value) and current > self.value
 
+    def range_hints(self) -> dict[str, tuple[Any, bool, Any, bool]]:
+        return {self.column: (self.value, False, None, False)}
+
 
 @dataclass(frozen=True)
 class Ge(Predicate):
@@ -110,6 +154,9 @@ class Ge(Predicate):
     def matches(self, row: Row) -> bool:
         current = row.get(self.column)
         return _comparable(current, self.value) and current >= self.value
+
+    def range_hints(self) -> dict[str, tuple[Any, bool, Any, bool]]:
+        return {self.column: (self.value, True, None, False)}
 
 
 @dataclass(frozen=True)
@@ -125,6 +172,9 @@ class Between(Predicate):
             and _comparable(current, self.high)
             and self.low <= current <= self.high
         )
+
+    def range_hints(self) -> dict[str, tuple[Any, bool, Any, bool]]:
+        return {self.column: (self.low, True, self.high, True)}
 
 
 class In(Predicate):
@@ -210,6 +260,14 @@ class And(Predicate):
         hints: dict[str, Any] = {}
         for part in self.parts:
             hints.update(part.equality_hints())
+        return hints
+
+    def range_hints(self) -> dict[str, tuple[Any, bool, Any, bool]]:
+        hints: dict[str, tuple[Any, bool, Any, bool]] = {}
+        for part in self.parts:
+            for column, bound in part.range_hints().items():
+                current = hints.get(column)
+                hints[column] = bound if current is None else _tighten(current, bound)
         return hints
 
     def __repr__(self) -> str:

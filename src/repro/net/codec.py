@@ -1,0 +1,494 @@
+"""The canonical binary wire codec: encode once, fan out bytes.
+
+Every payload that crosses the simulated wire used to be sized by one
+``json.dumps`` (``server.protocol.encoded_size``) and checksummed by a
+second one (``net.reliable.payload_checksum``) — per message, per
+recipient, and again per retransmission. This module replaces both with
+a single canonical encoding, produced exactly once and cached on a
+:class:`Frame`:
+
+* **compact binary framing** — varint (LEB128) integers, 8-byte IEEE
+  floats, length-prefixed UTF-8 strings, count-prefixed lists/dicts;
+* **string interning** — protocol vocabulary (message kinds, envelope
+  and payload keys) ships as 2-byte references into a *static table*
+  both ends know; other repeated strings are interned HPACK-style: the
+  first occurrence travels literally *and* registers in a table, later
+  occurrences are back-references. The table is per
+  :class:`StringInterner` — persistent on a reliable in-order channel
+  (a client uplink, a gateway↔shard route), fresh-per-frame everywhere
+  else so one encoding can safely fan out to N recipients;
+* **frame caching** — ``Frame.data`` (the bytes), ``Frame.size_bytes``
+  and ``Frame.checksum`` (crc32 of the bytes) are computed once; wire
+  sizing, the reliable layer's integrity check and every retransmission
+  reuse them. ``Frame.payload`` keeps the identity of the payload object
+  the bytes encode, so corruption (a swapped payload) is detectable
+  without re-encoding.
+
+Envelopes (cluster ``ROUTE``) and batches embed already-encoded frames
+as opaque byte strings — a routed or coalesced message is never encoded
+twice.
+
+Determinism: encoding depends only on the payload value, dict insertion
+order and the interner state, all of which are simulation-deterministic.
+No wall clock, no randomness.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, Iterable
+
+from repro.obs import get_registry
+
+#: Transport-level batch kind (a coalesced run of small messages).
+#: Unwrapped by the network layer; no node ever receives one.
+BATCH = "batch"
+
+# ----- value tags -----------------------------------------------------------------
+
+_T_NONE = 0
+_T_TRUE = 1
+_T_FALSE = 2
+_T_INT_POS = 3   # varint(n)
+_T_INT_NEG = 4   # varint(-n - 1)
+_T_FLOAT = 5     # 8 bytes, big-endian IEEE 754
+_T_STR = 6       # varint(len) + UTF-8; also registers in the dynamic table
+_T_SREF = 7      # varint(static table id)
+_T_IREF = 8      # varint(dynamic table id)
+_T_BYTES = 9     # varint(len) + raw bytes
+_T_LIST = 10     # varint(count) + items
+_T_DICT = 11     # varint(count) + key/value pairs (insertion order)
+
+#: Protocol vocabulary both ends know without negotiation. Referenced by
+#: position — APPEND ONLY, never reorder: checked-in benchmark snapshots
+#: and cross-version traces depend on stable ids.
+STATIC_STRINGS: tuple[str, ...] = (
+    # message kinds
+    "join", "leave", "choice", "operation", "freeze", "release",
+    "fetch_payload", "annotate", "monitor",
+    "join_ack", "presentation_update", "peer_event", "payload", "broadcast",
+    "error", "monitor_ack", "telemetry", "telemetry_event",
+    "route", "replicate", "ack", "heartbeat", "promote",
+    "net_ack", "batch",
+    # envelope / payload keys
+    "annotation", "at", "changes", "component", "data", "detail", "diff",
+    "doc_id", "domain", "entries", "event", "factor", "global", "interval",
+    "kind", "media_ref", "node", "node_id", "op", "outcome", "path",
+    "primary", "rect", "replica", "room_id", "room_key", "scope", "seq",
+    "sender", "session_id", "sessions", "size", "sizes", "structure", "to",
+    "value", "viewer", "viewer_id",
+    # common values
+    "shared", "personal", "text", "hidden", "full",
+)
+
+_STATIC_IDS: dict[str, int] = {s: i for i, s in enumerate(STATIC_STRINGS)}
+
+#: Dynamic tables stop growing here; both ends apply the same bound, so
+#: encoder and decoder stay in lockstep without negotiation.
+MAX_DYNAMIC_STRINGS = 4096
+
+
+class StringInterner:
+    """One end of a dynamic string table (HPACK-style, append-only).
+
+    The encoder and decoder each hold their own instance and evolve them
+    identically: every literal ``_T_STR`` the encoder emits is appended
+    to both tables, so a later ``_T_IREF`` resolves to the same string.
+    ``reset()`` empties the table — called on (re)connect, because a new
+    connection must not depend on a previous connection's state.
+    """
+
+    __slots__ = ("_ids", "_strings", "max_entries")
+
+    def __init__(self, max_entries: int = MAX_DYNAMIC_STRINGS) -> None:
+        self._ids: dict[str, int] = {}
+        self._strings: list[str] = []
+        self.max_entries = max_entries
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def reset(self) -> None:
+        self._ids.clear()
+        self._strings.clear()
+
+    def id_of(self, s: str) -> int | None:
+        return self._ids.get(s)
+
+    def register(self, s: str) -> None:
+        """Append *s* to the table (no-op once the bound is reached)."""
+        if len(self._strings) < self.max_entries and s not in self._ids:
+            self._ids[s] = len(self._strings)
+            self._strings.append(s)
+
+    def lookup(self, table_id: int) -> str:
+        return self._strings[table_id]
+
+
+class CodecError(ValueError):
+    """Unencodable value or malformed frame bytes."""
+
+
+class Frame:
+    """One canonical encoding of ``(kind, payload)``, computed once.
+
+    ``payload`` is the *identity* of the object the bytes encode — the
+    reliable layer verifies integrity by checking that a delivered
+    message still carries this exact object (retransmissions do; a
+    chaos-corrupted frame does not), with zero re-encoding.
+    """
+
+    __slots__ = ("kind", "payload", "data", "checksum", "_uses")
+
+    def __init__(self, kind: str, payload: Any, data: bytes) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.data = data
+        self.checksum = zlib.crc32(data)
+        self._uses = 0  # transmissions + embeddings; >1 means bytes reused
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Frame({self.kind!r}, {self.size_bytes}B, crc={self.checksum:#x})"
+
+
+# ----- metrics --------------------------------------------------------------------
+
+_metric_cache: tuple[Any, ...] | None = None
+
+
+def _metrics() -> tuple[Any, Any, Any, Any]:
+    """(encodes, bytes_encoded, encodes_saved, bytes_saved) counters.
+
+    Resolved against the *current* registry (tests swap registries), but
+    cached per registry so the hot path pays one identity check.
+    """
+    global _metric_cache
+    registry = get_registry()
+    if _metric_cache is None or _metric_cache[0] is not registry:
+        _metric_cache = (
+            registry,
+            registry.counter("codec.encodes"),
+            registry.counter("codec.bytes_encoded"),
+            registry.counter("codec.encodes_saved"),
+            registry.counter("codec.bytes_saved"),
+        )
+    return _metric_cache[1:]
+
+
+def mark_reuse(frame: Frame) -> None:
+    """Account one transmission/embedding of *frame*.
+
+    The first use is the encode itself; each further use is an encode
+    (and its bytes) that the old per-recipient scheme would have paid.
+    """
+    frame._uses += 1
+    if frame._uses > 1:
+        _, _, saved, bytes_saved = _metrics()
+        saved.inc()
+        bytes_saved.inc(frame.size_bytes)
+
+
+# ----- value encoding -------------------------------------------------------------
+
+_pack_float = struct.Struct(">d").pack
+_unpack_float = struct.Struct(">d").unpack_from
+
+
+def _write_varint(out: bytearray, n: int) -> None:
+    while True:
+        byte = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        try:
+            byte = data[pos]
+        except IndexError:
+            raise CodecError("truncated varint") from None
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _write_value(out: bytearray, value: Any, interner: StringInterner) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        if value >= 0:
+            out.append(_T_INT_POS)
+            _write_varint(out, value)
+        else:
+            out.append(_T_INT_NEG)
+            _write_varint(out, -value - 1)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += _pack_float(value)
+    elif isinstance(value, str):
+        static_id = _STATIC_IDS.get(value)
+        if static_id is not None:
+            out.append(_T_SREF)
+            _write_varint(out, static_id)
+            return
+        table_id = interner.id_of(value)
+        if table_id is not None:
+            out.append(_T_IREF)
+            _write_varint(out, table_id)
+            return
+        encoded = value.encode("utf-8")
+        out.append(_T_STR)
+        _write_varint(out, len(encoded))
+        out += encoded
+        interner.register(value)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        out.append(_T_BYTES)
+        _write_varint(out, len(value))
+        out += value
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST)
+        _write_varint(out, len(value))
+        for item in value:
+            _write_value(out, item, interner)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        _write_varint(out, len(value))
+        for key, item in value.items():
+            _write_value(out, key, interner)
+            _write_value(out, item, interner)
+    else:
+        raise CodecError(f"cannot encode {type(value).__name__} value {value!r}")
+
+
+def _read_value(data: bytes, pos: int, interner: StringInterner) -> tuple[Any, int]:
+    try:
+        tag = data[pos]
+    except IndexError:
+        raise CodecError("truncated frame: missing value tag") from None
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT_POS:
+        return _read_varint(data, pos)
+    if tag == _T_INT_NEG:
+        n, pos = _read_varint(data, pos)
+        return -n - 1, pos
+    if tag == _T_FLOAT:
+        if pos + 8 > len(data):
+            raise CodecError("truncated float")
+        return _unpack_float(data, pos)[0], pos + 8
+    if tag == _T_STR:
+        length, pos = _read_varint(data, pos)
+        if pos + length > len(data):
+            raise CodecError("truncated string")
+        s = data[pos : pos + length].decode("utf-8")
+        interner.register(s)
+        return s, pos + length
+    if tag == _T_SREF:
+        static_id, pos = _read_varint(data, pos)
+        try:
+            return STATIC_STRINGS[static_id], pos
+        except IndexError:
+            raise CodecError(f"unknown static string id {static_id}") from None
+    if tag == _T_IREF:
+        table_id, pos = _read_varint(data, pos)
+        try:
+            return interner.lookup(table_id), pos
+        except IndexError:
+            raise CodecError(f"dangling intern reference {table_id}") from None
+    if tag == _T_BYTES:
+        length, pos = _read_varint(data, pos)
+        if pos + length > len(data):
+            raise CodecError("truncated bytes")
+        return bytes(data[pos : pos + length]), pos + length
+    if tag == _T_LIST:
+        count, pos = _read_varint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _read_value(data, pos, interner)
+            items.append(item)
+        return items, pos
+    if tag == _T_DICT:
+        count, pos = _read_varint(data, pos)
+        result: dict[Any, Any] = {}
+        for _ in range(count):
+            key, pos = _read_value(data, pos, interner)
+            value, pos = _read_value(data, pos, interner)
+            result[key] = value
+        return result, pos
+    raise CodecError(f"unknown value tag {tag}")
+
+
+# ----- frames ---------------------------------------------------------------------
+
+def encode_message(kind: str, payload: Any, interner: StringInterner | None = None) -> Frame:
+    """Encode one ``(kind, payload)`` message into a cached :class:`Frame`.
+
+    Without an *interner* the dynamic table is fresh-per-frame (strings
+    repeated *within* the payload still compress) — the safe mode for
+    frames that fan out to many recipients. With one, repeated strings
+    compress *across* frames on that connection.
+    """
+    out = bytearray()
+    table = interner if interner is not None else StringInterner()
+    _write_value(out, kind, table)
+    _write_value(out, payload, table)
+    data = bytes(out)
+    encodes, bytes_encoded, _, _ = _metrics()
+    encodes.inc()
+    bytes_encoded.inc(len(data))
+    return Frame(kind, payload, data)
+
+
+def decode_message(
+    data: bytes, interner: StringInterner | None = None
+) -> tuple[str, Any]:
+    """Decode a frame produced by :func:`encode_message`."""
+    table = interner if interner is not None else StringInterner()
+    kind, pos = _read_value(data, 0, table)
+    payload, pos = _read_value(data, pos, table)
+    if pos != len(data):
+        raise CodecError(f"{len(data) - pos} trailing bytes after message")
+    return kind, payload
+
+
+def encode_envelope(
+    kind: str,
+    header: dict[str, Any],
+    inner: Frame,
+    payload: Any,
+    interner: StringInterner | None = None,
+) -> Frame:
+    """Encode a routing envelope around an already-encoded inner frame.
+
+    The inner frame is embedded as opaque bytes — routed messages are
+    never re-encoded. *payload* is the message-payload object the
+    envelope frame stands for (the wrapper dict handed to the network).
+    """
+    out = bytearray()
+    table = interner if interner is not None else StringInterner()
+    _write_value(out, kind, table)
+    _write_value(out, header, table)
+    _write_varint(out, len(inner.data))
+    out += inner.data
+    mark_reuse(inner)
+    data = bytes(out)
+    encodes, bytes_encoded, _, _ = _metrics()
+    encodes.inc()
+    bytes_encoded.inc(len(data) - len(inner.data))
+    return Frame(kind, payload, data)
+
+
+def decode_envelope(
+    data: bytes,
+    interner: StringInterner | None = None,
+    inner_interner: StringInterner | None = None,
+) -> tuple[str, dict[str, Any], tuple[str, Any]]:
+    """Decode an envelope: ``(kind, header, (inner_kind, inner_payload))``.
+
+    The embedded frame decodes against *inner_interner* — the table of
+    the connection the inner frame was originally encoded on, distinct
+    from the envelope's own channel table.
+    """
+    table = interner if interner is not None else StringInterner()
+    kind, pos = _read_value(data, 0, table)
+    header, pos = _read_value(data, pos, table)
+    length, pos = _read_varint(data, pos)
+    if pos + length != len(data):
+        raise CodecError("envelope inner-frame length mismatch")
+    inner = decode_message(data[pos:], inner_interner)
+    return kind, header, inner
+
+
+def encode_batch(frames: Iterable[Frame], payload: Any) -> Frame:
+    """Coalesce already-encoded frames into one ``BATCH`` frame.
+
+    Sub-frames are embedded as opaque bytes (no re-encode). *payload* is
+    the entry list the network layer unwraps at delivery.
+    """
+    frames = list(frames)
+    out = bytearray()
+    table = StringInterner()
+    _write_value(out, BATCH, table)
+    _write_varint(out, len(frames))
+    embedded = 0
+    for frame in frames:
+        _write_varint(out, len(frame.data))
+        out += frame.data
+        embedded += len(frame.data)
+        mark_reuse(frame)
+    data = bytes(out)
+    encodes, bytes_encoded, _, _ = _metrics()
+    encodes.inc()
+    bytes_encoded.inc(len(data) - embedded)
+    return Frame(BATCH, payload, data)
+
+
+def decode_batch(
+    data: bytes, inner_interner: StringInterner | None = None
+) -> list[tuple[str, Any]]:
+    """Decode a ``BATCH`` frame into its ``(kind, payload)`` entries."""
+    table = StringInterner()
+    kind, pos = _read_value(data, 0, table)
+    if kind != BATCH:
+        raise CodecError(f"not a batch frame: kind {kind!r}")
+    count, pos = _read_varint(data, pos)
+    entries = []
+    for _ in range(count):
+        length, pos = _read_varint(data, pos)
+        if pos + length > len(data):
+            raise CodecError("truncated batch entry")
+        entries.append(decode_message(data[pos : pos + length], inner_interner))
+        pos += length
+    if pos != len(data):
+        raise CodecError(f"{len(data) - pos} trailing bytes after batch")
+    return entries
+
+
+# ----- stateless measurement (no metrics, no shared tables) -----------------------
+
+def value_size(value: Any) -> int:
+    """Canonical encoded size of one value, measured statelessly.
+
+    This is what :func:`repro.server.protocol.encoded_size` charges for
+    payloads that never got a cached frame. ``bytes`` payloads are
+    counted at raw length inside the framing, exactly as on the wire.
+    """
+    out = bytearray()
+    _write_value(out, value, StringInterner())
+    return len(out)
+
+
+def checksum_of(kind: str, payload: Any) -> int:
+    """crc32 over the stateless canonical encoding of ``(kind, payload)``.
+
+    The fallback integrity check for messages without a cached frame
+    (tests poking the network directly, tiny transport acks). Matches
+    ``Frame.checksum`` for frames encoded without a connection table.
+    """
+    out = bytearray()
+    table = StringInterner()
+    _write_value(out, kind, table)
+    _write_value(out, payload, table)
+    return zlib.crc32(out)

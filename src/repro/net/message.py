@@ -9,7 +9,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.codec import Frame
 
 _message_counter = itertools.count(1)
 
@@ -24,6 +27,12 @@ class Message:
     protects the payload against injected corruption. ``attempt`` counts
     retransmissions of the same logical frame (0 = first transmission);
     retransmits keep their ``message_id``.
+
+    ``frame`` is the payload's cached canonical encoding (see
+    :mod:`repro.net.codec`) when the sender produced one: the wire size,
+    the reliable layer's checksum and every retransmission reuse it
+    instead of re-encoding. Excluded from equality — it is a cache, not
+    message state.
     """
 
     sender: str
@@ -35,6 +44,7 @@ class Message:
     seq: int | None = None
     checksum: int | None = None
     attempt: int = 0
+    frame: "Frame | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Protocol
 
 from repro.errors import DeliveryFailed, NetworkError
+from repro.net.codec import BATCH, Frame, mark_reuse
 from repro.net.link import Link
 from repro.net.message import Message
 from repro.net.reliable import NET_ACK, ReliableTransport, RetryPolicy
@@ -79,6 +80,7 @@ class SimulatedNetwork:
         self._obs = get_registry()
         self._events = get_event_log()
         self._m_drops = self._obs.counter("net.drops")
+        self._m_batch_unpacked = self._obs.counter("net.batch_unpacked")
         self._m_messages = self._obs.counter("net.messages")
         self._m_bytes = self._obs.counter("net.bytes_total")
         self._m_queue_delay = self._obs.histogram("net.queue_delay_s", LATENCY_BUCKETS)
@@ -228,21 +230,29 @@ class SimulatedNetwork:
         kind: str,
         payload: Any = None,
         size_bytes: int = 0,
+        frame: Frame | None = None,
     ) -> Message:
         """Queue a message; it is delivered via the clock at arrival time.
 
         Traffic is hub<->client: client-to-client messages are rejected
         (the paper's clients only ever talk to the interaction server,
         which relays room traffic).
+
+        *frame* is the payload's cached canonical encoding, when the
+        sender has one; passing it lets the reliable layer and every
+        retransmission reuse the bytes. With ``size_bytes=0`` the frame
+        also supplies the honest wire size.
         """
         if sender not in self._nodes:
             raise NetworkError(f"unknown sender {sender!r}")
         if recipient not in self._nodes:
             raise NetworkError(f"unknown recipient {recipient!r}")
         self._resolve_link(sender, recipient)  # validate the route up front
+        if frame is not None and size_bytes == 0:
+            size_bytes = frame.size_bytes
         message = Message(
             sender=sender, recipient=recipient, kind=kind,
-            payload=payload, size_bytes=size_bytes,
+            payload=payload, size_bytes=size_bytes, frame=frame,
         )
         if self.reliability is not None:
             message = self.reliability.prepare(message)
@@ -260,6 +270,10 @@ class SimulatedNetwork:
         if message.sender not in self._nodes or message.recipient not in self._nodes:
             self._drop(message)  # an endpoint died while the frame waited
             return
+        if message.frame is not None:
+            # Every transmission past the first (fan-out, duplicate,
+            # retransmission) ships cached bytes — an encode saved.
+            mark_reuse(message.frame)
         link, link_bytes = self._resolve_link(message.sender, message.recipient)
         if message.kind in CONTROL_PLANE_KINDS:
             arrival = link.priority_transfer(self.clock.now, message.size_bytes)
@@ -292,10 +306,28 @@ class SimulatedNetwork:
         self._hand_off(message)
 
     def _hand_off(self, message: Message) -> None:
-        """Final step: hand a (deduped, ordered) frame to its node."""
+        """Final step: hand a (deduped, ordered) frame to its node.
+
+        ``BATCH`` frames (see :mod:`repro.net.batch`) are unwrapped here:
+        the node receives the coalesced messages individually, in order,
+        and never sees the transport-level envelope.
+        """
         target = self._nodes.get(message.recipient)
         if target is None:
             self._drop(message)
+            return
+        if message.kind == BATCH:
+            self._m_batch_unpacked.inc(len(message.payload or []))
+            for entry in message.payload or []:
+                target.receive(
+                    Message(
+                        sender=message.sender,
+                        recipient=message.recipient,
+                        kind=entry["kind"],
+                        payload=entry["payload"],
+                        size_bytes=entry.get("size", 0),
+                    )
+                )
             return
         target.receive(message)
 

@@ -30,12 +30,11 @@ deterministic.
 
 from __future__ import annotations
 
-import json
-import zlib
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import DeliveryFailed
+from repro.net.codec import checksum_of
 from repro.obs import get_event_log, get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -83,9 +82,14 @@ class RetryPolicy:
 
 
 def payload_checksum(kind: str, payload: Any) -> int:
-    """Deterministic checksum over a frame's kind + canonical payload."""
-    body = json.dumps([kind, payload], sort_keys=True, default=repr)
-    return zlib.crc32(body.encode("utf-8"))
+    """Deterministic checksum over a frame's kind + canonical payload.
+
+    The fallback for messages without a cached codec frame: crc32 over
+    the canonical binary encoding (one ephemeral encode). Messages *with*
+    a frame reuse ``Frame.checksum`` — computed once at encode time —
+    and are verified by payload identity, costing zero re-encodes.
+    """
+    return checksum_of(kind, payload)
 
 
 @dataclass
@@ -129,8 +133,15 @@ class ReliableTransport:
         return kind not in self.policy.unreliable_kinds
 
     def prepare(self, message: "Message") -> "Message":
-        """Stamp checksum (always) and seq (reliable kinds) onto a frame."""
-        checksum = payload_checksum(message.kind, message.payload)
+        """Stamp checksum (always) and seq (reliable kinds) onto a frame.
+
+        Messages carrying a cached codec frame reuse its checksum — the
+        encode already happened; the transport never encodes again.
+        """
+        if message.frame is not None:
+            checksum = message.frame.checksum
+        else:
+            checksum = payload_checksum(message.kind, message.payload)
         if not self.is_reliable_kind(message.kind):
             return replace(message, checksum=checksum)
         stream = (message.sender, message.recipient)
@@ -248,10 +259,21 @@ class ReliableTransport:
     # ----- receiver side ----------------------------------------------------------
 
     def verify(self, message: "Message") -> bool:
-        """Checksum check; False means the frame must be quarantined."""
+        """Checksum check; False means the frame must be quarantined.
+
+        Frames with a cached encoding verify by *identity*: the payload
+        object delivered must be the one the frame encodes (retransmits
+        preserve it; chaos corruption swaps it) and the stamped checksum
+        must match the frame's — zero re-encoding on the hot path. The
+        frameless fallback recomputes the canonical checksum.
+        """
         if message.checksum is None:
             return True
-        if message.checksum == payload_checksum(message.kind, message.payload):
+        frame = message.frame
+        if frame is not None:
+            if message.payload is frame.payload and message.checksum == frame.checksum:
+                return True
+        elif message.checksum == payload_checksum(message.kind, message.payload):
             return True
         self._m_corrupt.inc()
         self._events.emit(

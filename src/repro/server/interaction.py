@@ -20,6 +20,8 @@ from repro.errors import RoomError, ServerError
 from repro import obs
 from repro.db.orm import MultimediaObjectStore
 from repro.document.document import MultimediaDocument
+from repro.net.batch import Batcher
+from repro.net.codec import Frame, encode_message
 from repro.net.message import Message
 from repro.net.network import SimulatedNetwork
 from repro.presentation.spec import PresentationSpec, diff_presentations
@@ -47,6 +49,8 @@ class InteractionServer:
         node_id: str = "server",
         diff_propagation: bool = True,
         use_profiles: bool = False,
+        batch_window_s: float = 0.0,
+        batch_max_bytes: int = 4096,
     ) -> None:
         self.store = store
         self.policy = policy if policy is not None else PermissionPolicy()
@@ -101,6 +105,16 @@ class InteractionServer:
         from repro.server.triggers import TriggerManager
 
         self.triggers = TriggerManager()
+        # Outbound coalescing (repro.net.batch): window 0 = pass-through,
+        # byte-identical to the unbatched server. E13 opts in.
+        self._batcher: Batcher | None = (
+            Batcher(
+                network, node_id,
+                window_s=batch_window_s, max_bytes=batch_max_bytes,
+            )
+            if network is not None
+            else None
+        )
         if network is not None:
             network.attach_hub(self)
 
@@ -343,9 +357,10 @@ class InteractionServer:
         size = node.presentation_size(value)
         if self.network is not None:
             body = {"component": component, "value": value, "size": size}
+            frame = encode_message(MessageKind.PAYLOAD, body)
             self._net_send(
                 session.node_id, MessageKind.PAYLOAD,
-                body, size_bytes=max(size, encoded_size(body)),
+                body, size_bytes=max(size, frame.size_bytes), frame=frame,
             )
         return size
 
@@ -399,6 +414,10 @@ class InteractionServer:
             full_bytes = self._f_prop_bytes.labels(room.room_id, "full")
             shipped = 0
             updates: dict[str, dict[str, str]] = {}
+            # Members whose recomputed views agree (the common case for a
+            # shared choice) receive the *same* update frame: one encode,
+            # N sends. Keyed by the delta's canonical item sequence.
+            update_frames: dict[tuple[tuple[str, str], ...], Frame] = {}
             for member_id in room.member_sessions:
                 member = self._session(member_id)
                 spec = room.presentation_for(member.viewer_id, now=self._now())
@@ -410,6 +429,18 @@ class InteractionServer:
                     continue
                 updates[member_id] = delta
                 member.remember_spec(doc_id, spec.outcome)
+                if self.network is not None:
+                    delta_key = tuple(sorted(delta.items()))
+                    frame = update_frames.get(delta_key)
+                    if frame is None:
+                        body = {"doc_id": doc_id, "changes": delta, "seq": change.seq}
+                        frame = update_frames[delta_key] = encode_message(
+                            MessageKind.PRESENTATION_UPDATE, body
+                        )
+                    self._net_send(
+                        member.node_id, MessageKind.PRESENTATION_UPDATE,
+                        frame.payload, frame=frame,
+                    )
                 # Diff-vs-full accounting: what this update costs on the
                 # wire against what a whole-outcome resend would cost.
                 delta_size = encoded_size(delta)
@@ -419,9 +450,6 @@ class InteractionServer:
                 diff_bytes.inc(delta_size)
                 full_bytes.inc(full_size)
                 shipped += delta_size
-                if self.network is not None:
-                    body = {"doc_id": doc_id, "changes": delta, "seq": change.seq}
-                    self._net_send(member.node_id, MessageKind.PRESENTATION_UPDATE, body)
             self._m_prop_updates.inc(len(updates))
             self._m_prop_fanout.observe(len(updates))
             self._emit(
@@ -437,11 +465,17 @@ class InteractionServer:
                     "doc_id": doc_id, "seq": change.seq,
                     "viewer": change.viewer_id, "kind": change.kind, "data": change.data,
                 }
+                # Multicast fan-out: one encode, the same frame to every
+                # member — the bytes were identical per recipient anyway.
+                event_frame = encode_message(MessageKind.PEER_EVENT, event_body)
                 for member_id in room.member_sessions:
                     member = self._session(member_id)
                     if member.viewer_id == change.viewer_id:
                         continue
-                    self._net_send(member.node_id, MessageKind.PEER_EVENT, event_body)
+                    self._net_send(
+                        member.node_id, MessageKind.PEER_EVENT,
+                        event_body, frame=event_frame,
+                    )
             self.triggers.dispatch(room, change)
         return updates
 
@@ -460,8 +494,11 @@ class InteractionServer:
         else:
             targets = list(self._sessions.values())
         if self.network is not None:
+            frame = encode_message(MessageKind.BROADCAST, payload)
             for session in targets:
-                self._net_send(session.node_id, MessageKind.BROADCAST, payload)
+                self._net_send(
+                    session.node_id, MessageKind.BROADCAST, payload, frame=frame
+                )
         return len(targets)
 
     # ----- telemetry monitors ----------------------------------------------------------
@@ -542,15 +579,28 @@ class InteractionServer:
         return len(self._monitors)
 
     def _net_send(
-        self, recipient: str, kind: str, body: Any, size_bytes: int | None = None
+        self,
+        recipient: str,
+        kind: str,
+        body: Any,
+        size_bytes: int | None = None,
+        frame: Frame | None = None,
     ) -> None:
-        """One hub->client send, with outbound message/byte accounting."""
+        """One hub->client send, with outbound message/byte accounting.
+
+        The payload is encoded exactly once: callers fanning the same
+        body out to several recipients pass the shared *frame*, otherwise
+        one is produced here. Sizing, checksum and retransmits all reuse
+        it — no send path ever serializes twice.
+        """
+        if frame is None:
+            frame = encode_message(kind, body)
         if size_bytes is None:
-            size_bytes = encoded_size(body)
+            size_bytes = frame.size_bytes
         self._m_messages_out.inc()
         self._m_bytes_out.inc(size_bytes)
-        self.network.send(
-            self.node_id, recipient, kind, payload=body, size_bytes=size_bytes
+        self._batcher.send(
+            recipient, kind, payload=body, size_bytes=size_bytes, frame=frame
         )
 
     def on_delivery_failed(self, error: Any) -> None:

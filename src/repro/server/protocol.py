@@ -2,14 +2,19 @@
 
 The simulated network charges links by declared byte size, so every
 payload crossing the wire is sized by :func:`encoded_size` — the length
-of its canonical JSON encoding (blob payload bytes are counted at full
-length). This keeps benchmark E9's bytes-on-wire numbers honest.
+of its canonical binary encoding (:mod:`repro.net.codec`: varints,
+interned strings, raw blob bytes). This keeps benchmark E9's
+bytes-on-wire numbers honest. :func:`json_encoded_size` preserves the
+pre-codec JSON sizing as the comparison baseline benchmark E13 measures
+the codec against.
 """
 
 from __future__ import annotations
 
 import json
 from typing import Any
+
+from repro.net.codec import value_size
 
 
 class MessageKind:
@@ -59,10 +64,16 @@ class MessageKind:
 def encoded_size(payload: Any) -> int:
     """Bytes this payload would occupy on the wire.
 
-    JSON-encodes the structure; embedded ``bytes`` values are charged at
-    their raw length (they would be framed binary, not base64, in a real
-    protocol).
+    The length of the payload's canonical binary encoding (embedded
+    ``bytes`` values are framed raw, not base64). Send sites that hold a
+    cached :class:`~repro.net.codec.Frame` should use its
+    ``size_bytes`` instead — same number, zero extra encodes.
     """
+    return value_size(payload)
+
+
+def json_encoded_size(payload: Any) -> int:
+    """Wire size under the pre-codec JSON framing (the E13 baseline)."""
     return _sizeof(payload)
 
 

@@ -12,7 +12,9 @@ once every member has acknowledged them.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Any
 
 from repro.errors import FrozenObjectError, RoomError
@@ -202,7 +204,9 @@ class Room:
         return change
 
     def changes_since(self, seq: int) -> list[RoomChange]:
-        return [change for change in self._changes if change.seq > seq]
+        """Changes newer than *seq* — O(log n + k), seqs are monotonic."""
+        start = bisect_right(self._changes, seq, key=attrgetter("seq"))
+        return self._changes[start:]
 
     def acknowledge(self, session_id: str, seq: int) -> None:
         """A member confirms it has displayed changes up to *seq*."""
@@ -218,7 +222,11 @@ class Room:
             self._g_buffer_depth_room.set(0)
             return
         low_water = min(self._ack.values())
-        self._changes = [c for c in self._changes if c.seq > low_water]
+        # Seqs are monotonic, so everything acked is a prefix: one bisect
+        # and one del instead of rebuilding the list per acknowledgement.
+        cut = bisect_right(self._changes, low_water, key=attrgetter("seq"))
+        if cut:
+            del self._changes[:cut]
         self._g_buffer_depth.set(len(self._changes))
         self._g_buffer_depth_room.set(len(self._changes))
 

@@ -216,3 +216,79 @@ class TestTableIndexing:
         table.index_on("ward").clear()
         table.rebuild_indexes()
         assert len(table.index_on("ward").lookup("w1")) == 1
+
+
+class TestRangeScanRouting:
+    """Comparison predicates route through ordered indexes (PR 5)."""
+
+    def _populated(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            table = make_table()
+            table.create_index("age", kind="ordered")
+            for i in range(20):
+                table.insert({"name": f"p{i}", "age": i})
+        return table, registry
+
+    def test_range_predicate_uses_ordered_index(self):
+        from repro.db import And, Ge, Lt
+
+        table, registry = self._populated()
+        rows = table.select(And(Ge("age", 5), Lt("age", 8)))
+        assert sorted(r["age"] for r in rows) == [5, 6, 7]
+        counters = registry.snapshot()["counters"]
+        assert counters["db.access.range_scan"] == 1
+        assert counters["db.access.full_scan"] == 0
+        # Only the k in-range rows were examined, not all 20.
+        assert counters["db.rows_scanned"] == 3
+
+    def test_between_uses_ordered_index(self):
+        from repro.db import Between
+
+        table, registry = self._populated()
+        rows = table.select(Between("age", 17, 25))
+        assert sorted(r["age"] for r in rows) == [17, 18, 19]
+        counters = registry.snapshot()["counters"]
+        assert counters["db.access.range_scan"] == 1
+        assert counters["db.rows_scanned"] == 3
+
+    def test_equality_hint_still_preferred(self):
+        from repro.db import And, Eq, Gt
+
+        table, registry = self._populated()
+        table.select(And(Eq("id", 3), Gt("age", 0)))
+        counters = registry.snapshot()["counters"]
+        assert counters["db.access.pk_lookup"] == 1
+        assert counters["db.access.range_scan"] == 0
+
+    def test_no_ordered_index_falls_back_to_full_scan(self):
+        from repro.db import Gt
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            table = make_table()  # no index on age at all
+            for i in range(10):
+                table.insert({"name": f"p{i}", "age": i})
+        rows = table.select(Gt("age", 7))
+        assert sorted(r["age"] for r in rows) == [8, 9]
+        counters = registry.snapshot()["counters"]
+        assert counters["db.access.full_scan"] == 1
+        assert counters["db.access.range_scan"] == 0
+
+    def test_explain_reports_range_path(self):
+        from repro.db import Gt
+        from repro.db.query import ALL
+
+        table, _ = self._populated()
+        assert table.explain(Gt("age", 5)) == "range:pts_age_ordered"
+        assert table.explain(ALL) == "full-scan"
+
+    def test_exclusive_bounds_respected(self):
+        from repro.db import And, Gt, Le
+
+        table, _ = self._populated()
+        rows = table.select(And(Gt("age", 5), Le("age", 7)))
+        assert sorted(r["age"] for r in rows) == [6, 7]

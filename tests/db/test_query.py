@@ -107,3 +107,36 @@ class TestHints:
 
     def test_inequality_yields_no_hint(self):
         assert Gt("age", 1).equality_hints() == {}
+
+
+class TestRangeHints:
+    def test_comparison_bounds(self):
+        assert Lt("age", 50).range_hints() == {"age": (None, False, 50, False)}
+        assert Le("age", 50).range_hints() == {"age": (None, False, 50, True)}
+        assert Gt("age", 18).range_hints() == {"age": (18, False, None, False)}
+        assert Ge("age", 18).range_hints() == {"age": (18, True, None, False)}
+
+    def test_between_is_inclusive(self):
+        assert Between("age", 18, 65).range_hints() == {"age": (18, True, 65, True)}
+
+    def test_and_intersects_bounds(self):
+        pred = And(Ge("age", 18), Lt("age", 65))
+        assert pred.range_hints() == {"age": (18, True, 65, False)}
+
+    def test_and_takes_tighter_bound(self):
+        pred = And(Gt("age", 18), Ge("age", 18), Lt("age", 70), Le("age", 65))
+        # Exclusive wins the low tie; the lower high wins outright.
+        assert pred.range_hints() == {"age": (18, False, 65, True)}
+
+    def test_and_tracks_columns_independently(self):
+        pred = And(Gt("age", 18), Lt("id", 100))
+        assert pred.range_hints() == {
+            "age": (18, False, None, False),
+            "id": (None, False, 100, False),
+        }
+
+    def test_or_not_eq_yield_no_range_hints(self):
+        assert Or(Gt("age", 1), Lt("age", 0)).range_hints() == {}
+        assert Not(Gt("age", 1)).range_hints() == {}
+        assert Eq("age", 41).range_hints() == {}
+        assert ALL.range_hints() == {}

@@ -233,12 +233,13 @@ class TestStats:
 
 
 class TestHonestWireSizes:
-    """Per-link byte counters must equal the real encoded payload bytes.
+    """Per-link byte counters must equal the real encoded frame bytes.
 
     A three-client consultation runs over the full stack; every message a
-    client receives or sends is re-measured with ``encoded_size`` and the
-    totals are checked against the ``net.link.<node>.{down,up}.bytes``
-    counters — no message may be charged a made-up size.
+    client receives or sends must carry the canonical codec frame for its
+    payload, be charged exactly ``len(frame.bytes)``, and the totals are
+    checked against the ``net.link.<node>.{down,up}.bytes`` counters — no
+    message may be charged a made-up size.
     """
 
     def test_three_client_room_link_counters_match_encoded_sizes(self, tmp_path):
@@ -288,9 +289,16 @@ class TestHonestWireSizes:
                 down = delivered[client.node_id]
                 up = sent[client.node_id]
                 assert down and up  # the session actually produced traffic
-                # Every wire size is the canonical encoding of its payload.
+                # Every wire size is the length of the actual encoded
+                # frame (kind + payload), the frame describes *this*
+                # payload, and the encoding never exceeds the stateless
+                # value size by more than the kind prefix.
                 for message in down + up:
-                    assert message.size_bytes == encoded_size(message.payload)
+                    assert message.frame is not None
+                    assert message.size_bytes == len(message.frame.data)
+                    assert message.size_bytes == message.frame.size_bytes
+                    assert message.payload is message.frame.payload
+                    assert message.size_bytes <= encoded_size(message.payload) + 16
                 assert counters[f"net.link.{client.node_id}.down.bytes"] == sum(
                     m.size_bytes for m in down
                 )

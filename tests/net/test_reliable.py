@@ -114,6 +114,29 @@ class TestRetry:
         counters = registry.snapshot()["counters"]
         assert counters['net.retries{kind="choice"}'] == 1
 
+    def test_retransmission_performs_zero_new_encodes(self, fresh_obs):
+        """A retry reuses the cached frame: encode count frozen, reuse
+        counters advance (the encode-once contract, PR 5)."""
+        from repro.net.codec import encode_message
+
+        registry, _ = fresh_obs
+        network, hub, _ = rig(LossyNetwork)
+        network.drop_next = {1}  # the ack is lost; the frame retransmits
+        payload = {"session_id": "s", "value": "full"}
+        frame = encode_message("choice", payload)
+        before = registry.snapshot()["counters"]["codec.encodes"]
+        network.send("c1", "server", "choice", payload, frame=frame)
+        network.run()
+        assert [m.payload for m in hub.received] == [payload]  # dup dropped
+        assert hub.received[0].frame is frame
+        counters = registry.snapshot()["counters"]
+        assert counters['net.retries{kind="choice"}'] == 1
+        # Two wire transmissions of the frame, zero encodes after it was
+        # built — the retransmission reused the cached bytes.
+        assert counters["codec.encodes"] == before
+        assert counters["codec.encodes_saved"] == 1
+        assert counters["codec.bytes_saved"] == frame.size_bytes
+
     def test_lost_ack_causes_dup_which_is_dropped(self, fresh_obs):
         registry, _ = fresh_obs
         network, hub, _ = rig(LossyNetwork)

@@ -6,13 +6,14 @@ from repro.server import MessageKind, Session, encoded_size
 
 class TestEncodedSize:
     def test_scalars(self):
-        assert encoded_size(5) == 1
-        assert encoded_size(True) == 4  # "true"
-        assert encoded_size(None) == 4  # "null"
-        assert encoded_size("abc") == 5  # quoted
+        assert encoded_size(5) == 2  # tag + varint
+        assert encoded_size(True) == 1  # single tag byte
+        assert encoded_size(None) == 1  # single tag byte
+        assert encoded_size("abc") == 5  # tag + varint length + utf-8
 
-    def test_bytes_charged_raw(self):
-        assert encoded_size(b"\x00" * 1000) == 1000
+    def test_bytes_charged_raw_plus_framing(self):
+        # Raw bytes cross the wire untouched: tag + varint(1000) + body.
+        assert encoded_size(b"\x00" * 1000) == 1003
 
     def test_structures(self):
         flat = {"a": 1, "b": 2}

@@ -142,3 +142,27 @@ class TestChangeBuffer:
     def test_ack_requires_membership(self, room):
         with pytest.raises(RoomError):
             room.acknowledge("ghost", 1)
+
+    def test_changes_since_keys_on_seq_not_position(self, room):
+        """After a prefix trim, seq != list position — the bisect must
+        key on the stored seq (PR 5 turns these into O(log n) paths)."""
+        for i in range(6):
+            room.apply_choice("lee", "labs", "hidden" if i % 2 else "shown")
+        room.acknowledge("s1", 3)
+        room.acknowledge("s2", 3)  # discards seqs 1..3
+        assert room.buffer_size == 3
+        assert [c.seq for c in room.changes_since(0)] == [4, 5, 6]
+        assert [c.seq for c in room.changes_since(4)] == [5, 6]
+        assert [c.seq for c in room.changes_since(6)] == []
+        assert [c.seq for c in room.changes_since(99)] == []
+
+    def test_monotone_acks_trim_incrementally(self, room):
+        for i in range(4):
+            room.apply_choice("lee", "labs", "hidden" if i % 2 else "shown")
+        for seq in (1, 2, 3):
+            room.acknowledge("s1", seq)
+            room.acknowledge("s2", seq)
+            assert [c.seq for c in room.changes_since(seq)] == list(
+                range(seq + 1, 5)
+            )
+            assert room.buffer_size == 4 - seq
