@@ -67,6 +67,7 @@ def run_convergence(
     quick: bool = False,
     crash: bool = True,
     partition: bool = True,
+    interest_churn: bool = False,
 ) -> dict[str, Any]:
     """Control + one chaos run per seed; report agreement.
 
@@ -76,11 +77,15 @@ def run_convergence(
     every seed byte-identical to control, zero client-visible errors,
     zero delivery failures, and — to prove chaos was actually on — at
     least one injected fault and one retransmission per seed.
+    ``interest_churn`` runs the scenario with CP-net interest management
+    on and subscriptions churning across the fault windows (see
+    :func:`~repro.workloads.chaos.run_chaos_conference`).
     """
     events_per_room = 3 if quick else 6
     kwargs = dict(
         events_per_room=events_per_room,
         crash_owner_of="case-0" if crash else None,
+        interest_churn=interest_churn,
     )
     control = _one_run(root, "control", None, quick, **kwargs)
     report: dict[str, Any] = {
@@ -135,6 +140,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true", help="trimmed CI workload")
     parser.add_argument("--no-crash", action="store_true")
     parser.add_argument("--no-partition", action="store_true")
+    parser.add_argument(
+        "--interest-churn",
+        action="store_true",
+        help="churn subscriptions across the fault windows (repro.interest)",
+    )
     parser.add_argument("--root", default=None, help="scratch dir (default: mkdtemp)")
     args = parser.parse_args(argv)
     root = args.root
@@ -148,6 +158,7 @@ def main(argv: list[str] | None = None) -> int:
         quick=args.quick,
         crash=not args.no_crash,
         partition=not args.no_partition,
+        interest_churn=args.interest_churn,
     )
     for seed, entry in report["seeds"].items():
         status = "ok" if entry["ok"] else "DIVERGED"

@@ -62,6 +62,9 @@ class ClientModule:
         self.broadcasts: list[dict[str, Any]] = []
         self.errors: list[dict[str, Any]] = []
         self.degrade_on_loss = degrade_on_loss
+        #: Explicit subscription set acked by the server; ``None`` until
+        #: the first SUBSCRIBE_ACK (implicit interest in everything).
+        self.subscriptions: tuple[str, ...] | None = None
         #: Frames the reliable transport gave up on, as dicts.
         self.delivery_failures: list[dict[str, Any]] = []
         #: Components displayed as placeholders after payload fetch failed.
@@ -140,6 +143,25 @@ class ClientModule:
             {"session_id": self._require_session(), "component": component},
         )
 
+    def subscribe(self, components: list[str], replace: bool = False) -> None:
+        """Explicitly subscribe to component paths (narrowing interest)."""
+        payload: dict[str, Any] = {
+            "session_id": self._require_session(),
+            "components": list(components),
+        }
+        if replace:
+            payload["replace"] = True
+        self._send(MessageKind.SUBSCRIBE, payload)
+
+    def unsubscribe(self, components: list[str] | None = None) -> None:
+        """Drop subscriptions; with no argument, drop them all."""
+        payload: dict[str, Any] = {"session_id": self._require_session()}
+        if components is None:
+            payload["all"] = True
+        else:
+            payload["components"] = list(components)
+        self._send(MessageKind.UNSUBSCRIBE, payload)
+
     def fetch_payload(self, component: str, value: str) -> None:
         self._send(
             MessageKind.FETCH_PAYLOAD,
@@ -179,6 +201,8 @@ class ClientModule:
             self._on_presentation_update(payload)
         elif message.kind == MessageKind.PAYLOAD:
             self._on_payload(payload)
+        elif message.kind == MessageKind.SUBSCRIBE_ACK:
+            self._on_subscribe_ack(payload)
         elif message.kind == MessageKind.PEER_EVENT:
             self.peer_events.append(payload)
         elif message.kind == MessageKind.BROADCAST:
@@ -209,6 +233,17 @@ class ClientModule:
             self.join_latency = self._now() - self.join_time
             self._m_join_latency.observe(self.join_latency)
         self._fetch_missing(payload.get("outcome", {}))
+
+    def _on_subscribe_ack(self, payload: dict[str, Any]) -> None:
+        self.subscriptions = tuple(payload.get("subscribed", ()))
+        # Catch-up: values of newly covered components that changed while
+        # this client was not subscribed, applied like a regular update.
+        catchup = payload.get("outcome") or {}
+        if catchup and self.render is not None:
+            changed = self.render.apply_update(catchup)
+            self._fetch_missing(
+                {path: catchup[path] for path in changed if path in catchup}
+            )
 
     def _on_presentation_update(self, payload: dict[str, Any]) -> None:
         if self.render is None:

@@ -39,6 +39,7 @@ class ClusterHarness:
         vnodes: int = 64,
         reliability: Any = None,
         plan: Any = None,
+        interest_mode: str = "off",
     ) -> None:
         if num_shards < 1:
             raise ClusterError(f"a cluster needs >= 1 shard, got {num_shards}")
@@ -60,6 +61,7 @@ class ClusterHarness:
         self._policy = policy
         self._service_rate = service_rate
         self._replication_factor = replication_factor
+        self._interest_mode = interest_mode
         self.shards: dict[str, ShardServer] = {}
         self.clients: dict[str, ClientModule] = {}
         for index in range(num_shards):
@@ -82,6 +84,7 @@ class ClusterHarness:
             policy=self._policy,
             service_rate=self._service_rate,
             replication_factor=self._replication_factor,
+            interest_mode=self._interest_mode,
         )
         self.network.attach_backbone(shard, uplink=uplink, downlink=downlink)
         self.gateway.register_shard(shard_id)

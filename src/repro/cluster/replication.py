@@ -29,7 +29,7 @@ class LogEntry:
     seq: int
     at: float        # primary's clock when the op was applied
     room_key: str    # the sharding key (document id)
-    op: str          # join|leave|choice|operation|annotation|freeze|release
+    op: str          # join|leave|choice|operation|annotation|freeze|release|subscribe|unsubscribe
     data: dict[str, Any]
 
     def to_wire(self) -> dict[str, Any]:
@@ -107,6 +107,7 @@ class ReplicaState:
         policy: PermissionPolicy | None = None,
         transport: Any | None = None,
         on_gap: Callable[[int, int], None] | None = None,
+        interest_mode: str = "off",
     ) -> None:
         self.primary_id = primary_id
         self.applied_seq = 0
@@ -121,6 +122,7 @@ class ReplicaState:
             policy=policy,
             network=transport,
             node_id=f"replica:{primary_id}",
+            interest_mode=interest_mode,
         )
 
     # ----- replay ---------------------------------------------------------------
@@ -176,6 +178,16 @@ class ReplicaState:
             server.handle_freeze(data["session_id"], data["component"])
         elif entry.op == "release":
             server.handle_release(data["session_id"], data["component"])
+        elif entry.op == "subscribe":
+            server.handle_subscribe(
+                data["session_id"], data.get("components", []),
+                replace=data.get("replace", False),
+            )
+        elif entry.op == "unsubscribe":
+            server.handle_unsubscribe(
+                data["session_id"], components=data.get("components"),
+                all_components=data.get("all", False),
+            )
         else:
             raise ClusterError(f"unknown replicated op {entry.op!r}")
 

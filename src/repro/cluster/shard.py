@@ -43,6 +43,11 @@ _REPLICATED_OPS = {
     MessageKind.ANNOTATE: "annotation",
     MessageKind.FREEZE: "freeze",
     MessageKind.RELEASE: "release",
+    # Interest is room state: a promoted replica must keep filtering
+    # exactly where the dead primary left off, so subscription changes
+    # ship through the same op log as everything else.
+    MessageKind.SUBSCRIBE: "subscribe",
+    MessageKind.UNSUBSCRIBE: "unsubscribe",
 }
 
 
@@ -137,6 +142,7 @@ class ShardServer:
         policy: PermissionPolicy | None = None,
         service_rate: float | None = None,
         replication_factor: int = 2,
+        interest_mode: str = "off",
     ) -> None:
         self.node_id = shard_id
         self.network = network
@@ -146,9 +152,11 @@ class ShardServer:
         self.replication_factor = replication_factor
         self._store = store
         self._policy = policy
+        self._interest_mode = interest_mode
         self._transport = _GatewayTransport(self)
         self.server = InteractionServer(
-            store, policy=policy, network=self._transport, node_id=shard_id
+            store, policy=policy, network=self._transport, node_id=shard_id,
+            interest_mode=interest_mode,
         )
         self.queue = ServiceQueue(network.clock, service_rate)
         self._ship: dict[str, ShipLog] = {}          # replica shard -> log
@@ -431,6 +439,7 @@ class ShardServer:
                 policy=self._policy,
                 transport=_StandbyTransport(self),
                 on_gap=self._on_replay_gap,
+                interest_mode=self._interest_mode,
             )
         applied = 0
         for body in payload.get("entries", []):

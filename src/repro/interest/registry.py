@@ -1,0 +1,158 @@
+"""The room-scoped subscription registry.
+
+One registry per room maps each member session to its *interest set*:
+either the :data:`ALL` sentinel (implicit interest in everything — the
+pre-interest behaviour, and the default for sessions that never
+subscribe) or an explicit set of component paths. Coverage is a
+bidirectional dotted-prefix relation, so subscribing to a component also
+covers its operation variables and visibility changes of its enclosing
+sections, and subscribing to a section covers everything below it.
+
+``tuning.*`` variables are always covered: a viewer's own bandwidth
+degradation must reach their display no matter how narrow their
+interest — otherwise a client could tune itself into a state it can
+never observe.
+
+Determinism: every query that returns multiple paths returns them
+sorted; internal sets never leak onto the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import RoomError
+
+#: Sentinel interest set: "everything in the room" (never materialized).
+ALL = None
+
+#: Variables every session is interested in regardless of subscriptions.
+_ALWAYS_PREFIX = "tuning."
+
+
+class InterestRegistry:
+    """Per-session subscription sets over one room's component paths."""
+
+    def __init__(self, universe: Iterable[str] = ()) -> None:
+        #: Component paths of the room's document — the materialization of
+        #: :data:`ALL` when an unsubscribe needs to narrow it.
+        self._universe: tuple[str, ...] = tuple(universe)
+        self._subs: dict[str, set[str] | None] = {}
+
+    # ----- membership ---------------------------------------------------------
+
+    def join(self, session_id: str) -> None:
+        """A session entered the room: implicit interest in everything."""
+        self._subs[session_id] = ALL
+
+    def forget(self, session_id: str) -> None:
+        """A session left: it must never linger in any fan-out decision."""
+        self._subs.pop(session_id, None)
+
+    def seed(self, session_id: str, components: Iterable[str]) -> tuple[str, ...]:
+        """Install default subscriptions (CP-net "relevant parts")."""
+        self._require(session_id)
+        subs = set(components)
+        self._subs[session_id] = subs
+        return tuple(sorted(subs))
+
+    def _require(self, session_id: str) -> None:
+        if session_id not in self._subs:
+            raise RoomError(f"session {session_id!r} has no interest entry")
+
+    @property
+    def session_ids(self) -> tuple[str, ...]:
+        return tuple(sorted(self._subs))
+
+    # ----- subscriptions ------------------------------------------------------
+
+    def subscribe(
+        self, session_id: str, components: Iterable[str], replace: bool = False
+    ) -> tuple[str, ...]:
+        """Add (or with *replace* substitute) explicit subscriptions.
+
+        An explicit subscribe always overrides implicit :data:`ALL`
+        interest: the session narrows to exactly the named components
+        (plus whatever it subscribes to later).
+        """
+        self._require(session_id)
+        current = self._subs[session_id]
+        base: set[str] = set() if (replace or current is ALL) else set(current)
+        base.update(components)
+        self._subs[session_id] = base
+        return tuple(sorted(base))
+
+    def unsubscribe(
+        self,
+        session_id: str,
+        components: Iterable[str] | None = None,
+        all_components: bool = False,
+    ) -> tuple[str, ...]:
+        """Drop subscriptions; ``all_components`` empties the set.
+
+        Unsubscribing from implicit :data:`ALL` materializes it over the
+        room's component universe first, then removes the named paths and
+        everything below them.
+        """
+        self._require(session_id)
+        if all_components:
+            self._subs[session_id] = set()
+            return ()
+        dropped = tuple(components or ())
+        current = self._subs[session_id]
+        base = set(self._universe) if current is ALL else set(current)
+        remaining = {
+            sub
+            for sub in base
+            if not any(sub == c or sub.startswith(c + ".") for c in dropped)
+        }
+        self._subs[session_id] = remaining
+        return tuple(sorted(remaining))
+
+    def subscriptions(self, session_id: str) -> tuple[str, ...] | None:
+        """Explicit subscriptions, or ``None`` for implicit ALL."""
+        subs = self._subs.get(session_id, ALL)
+        return None if subs is ALL else tuple(sorted(subs))
+
+    def is_all(self, session_id: str) -> bool:
+        return self._subs.get(session_id, ALL) is ALL
+
+    def explicit_subscriptions(self) -> int:
+        """Total explicit subscription entries across the room (gauge)."""
+        return sum(len(subs) for subs in self._subs.values() if subs is not ALL)
+
+    # ----- coverage -----------------------------------------------------------
+
+    def covers(self, session_id: str, path: str) -> bool:
+        """Would a change to *path* reach this session?
+
+        ALL covers everything; ``tuning.*`` is always covered; otherwise
+        the dotted-prefix relation in either direction decides (a
+        subscription to a child keeps its ancestors' visibility changes,
+        a subscription to a section keeps its descendants').
+        """
+        subs = self._subs.get(session_id, ALL)
+        if subs is ALL:
+            return True
+        if path.startswith(_ALWAYS_PREFIX):
+            return True
+        for sub in subs:
+            if path == sub or path.startswith(sub + ".") or sub.startswith(path + "."):
+                return True
+        return False
+
+    def filter_delta(
+        self, session_id: str, delta: dict[str, str]
+    ) -> dict[str, str]:
+        """The covered subset of a presentation delta.
+
+        Returns *delta* itself (not a copy) for ALL sessions, so the
+        unfiltered fast path stays allocation-free.
+        """
+        if self._subs.get(session_id, ALL) is ALL:
+            return delta
+        return {
+            path: value
+            for path, value in delta.items()
+            if self.covers(session_id, path)
+        }

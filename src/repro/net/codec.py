@@ -80,6 +80,9 @@ STATIC_STRINGS: tuple[str, ...] = (
     "value", "viewer", "viewer_id",
     # common values
     "shared", "personal", "text", "hidden", "full",
+    # interest management (appended, never reordered: ids above are pinned)
+    "subscribe", "unsubscribe", "subscribe_ack",
+    "components", "subscribed", "replace", "all", "layers",
 )
 
 _STATIC_IDS: dict[str, int] = {s: i for i, s in enumerate(STATIC_STRINGS)}

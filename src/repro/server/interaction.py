@@ -20,11 +20,19 @@ from repro.errors import RoomError, ServerError
 from repro import obs
 from repro.db.orm import MultimediaObjectStore
 from repro.document.document import MultimediaDocument
+from repro.interest import (
+    NUM_LAYERS,
+    SIMULCAST_FLOOR,
+    default_subscriptions,
+    layer_prefix_size,
+    layers_for_level,
+)
 from repro.net.batch import Batcher
 from repro.net.codec import Frame, encode_message
 from repro.net.message import Message
 from repro.net.network import SimulatedNetwork
 from repro.presentation.spec import PresentationSpec, diff_presentations
+from repro.presentation.tuning import BANDWIDTH_HIGH, TUNING_VARIABLE
 from repro.server.permissions import (
     PERM_ANNOTATE,
     PERM_CHOOSE,
@@ -51,13 +59,24 @@ class InteractionServer:
         use_profiles: bool = False,
         batch_window_s: float = 0.0,
         batch_max_bytes: int = 4096,
+        interest_mode: str = "off",
     ) -> None:
+        if interest_mode not in ("off", "cpnet"):
+            raise ValueError(
+                f"interest_mode must be 'off' or 'cpnet', got {interest_mode!r}"
+            )
         self.store = store
         self.policy = policy if policy is not None else PermissionPolicy()
         self.node_id = node_id
         self.network = network
         self.diff_propagation = diff_propagation
         self.use_profiles = use_profiles
+        #: "off": members start with implicit interest in everything (the
+        #: pre-interest behaviour, byte-identical); "cpnet": defaults are
+        #: seeded from each viewer's computed presentation (§5.3 "relevant
+        #: parts") and per-subscriber layer selection is enabled. Explicit
+        #: SUBSCRIBE/UNSUBSCRIBE overrides either way.
+        self.interest_mode = interest_mode
         self._profiles: dict[str, Any] = {}
         # Ids are namespaced by node_id: two servers (cluster shards) can
         # never mint colliding room/session ids at the gateway.
@@ -84,6 +103,14 @@ class InteractionServer:
         self._m_prop_fanout = registry.histogram(
             "server.propagation.fanout", obs.COUNT_BUCKETS
         )
+        # Interest management (repro.interest). Cardinality is bounded:
+        # one gauge label per open room, flat counters otherwise.
+        self._g_interest_subs = registry.gauge_family(
+            "interest.subscriptions", ("room",)
+        )
+        self._m_interest_filtered = registry.counter("interest.updates_filtered")
+        self._m_interest_bytes_saved = registry.counter("interest.bytes_saved")
+        self._m_interest_downgrades = registry.counter("interest.layer_downgrades")
         self._g_sessions = registry.gauge("server.sessions_connected")
         self._g_rooms = registry.gauge("server.rooms_open")
         self._g_occupancy = registry.gauge("server.room_occupancy")
@@ -232,6 +259,17 @@ class InteractionServer:
                     )
             spec = room.presentation_for(session.viewer_id, now=self._now())
             session.remember_spec(doc_id, spec.outcome)
+            if self.interest_mode == "cpnet":
+                # §5.3 "relevant parts": the viewer's computed presentation
+                # names the components they care about; seed their default
+                # subscriptions from it. Explicit SUBSCRIBE overrides.
+                room.interest.seed(
+                    session.session_id,
+                    default_subscriptions(room.document, spec.outcome),
+                )
+                self._g_interest_subs.labels(room.room_id).set(
+                    room.interest.explicit_subscriptions()
+                )
         return room, spec
 
     def _profile_of(self, viewer_id: str):
@@ -248,6 +286,9 @@ class InteractionServer:
         room.leave(session_id)
         session.forget_spec(room.document.doc_id)
         session.room_id = None
+        self._g_interest_subs.labels(room.room_id).set(
+            room.interest.explicit_subscriptions()
+        )
         self._emit(
             "server.room_leave",
             room=room.room_id,
@@ -324,6 +365,91 @@ class InteractionServer:
         change = room.release(session.viewer_id, component)
         self._propagate(room, change)
 
+    # ----- interest management -------------------------------------------------------------
+
+    def handle_subscribe(
+        self, session_id: str, components: list[str], replace: bool = False
+    ) -> tuple[str, ...]:
+        """Explicitly subscribe a session to component paths.
+
+        The SUBSCRIBE_ACK carries a catch-up outcome: current values of
+        covered components the client has not yet seen (it may have been
+        unsubscribed while they changed), applied client-side like a
+        presentation update. Returns the session's full subscription set.
+        """
+        session, room = self._session_room(session_id)
+        self.policy.require(session.viewer_id, PERM_VIEW)
+        subscribed = room.subscribe(session_id, components, replace=replace)
+        doc_id = room.document.doc_id
+        spec = room.presentation_for(session.viewer_id, now=self._now())
+        known = session.known_spec(doc_id) or {}
+        catchup = {
+            path: value
+            for path, value in spec.outcome.items()
+            if known.get(path) != value and room.interest.covers(session_id, path)
+        }
+        if catchup:
+            merged = dict(known)
+            merged.update(catchup)
+            session.remember_spec(doc_id, merged)
+        self._g_interest_subs.labels(room.room_id).set(
+            room.interest.explicit_subscriptions()
+        )
+        self._emit(
+            "server.subscribe",
+            severity="DEBUG",
+            room=room.room_id,
+            viewer=session.viewer_id,
+            subscribed=len(subscribed),
+        )
+        if self.network is not None:
+            self._net_send(
+                session.node_id,
+                MessageKind.SUBSCRIBE_ACK,
+                {
+                    "session_id": session_id,
+                    "room_id": room.room_id,
+                    "subscribed": list(subscribed),
+                    "outcome": catchup,
+                },
+            )
+        return subscribed
+
+    def handle_unsubscribe(
+        self,
+        session_id: str,
+        components: list[str] | None = None,
+        all_components: bool = False,
+    ) -> tuple[str, ...]:
+        """Drop a session's subscriptions; acked with the remaining set."""
+        session, room = self._session_room(session_id)
+        self.policy.require(session.viewer_id, PERM_VIEW)
+        subscribed = room.unsubscribe(
+            session_id, components, all_components=all_components
+        )
+        self._g_interest_subs.labels(room.room_id).set(
+            room.interest.explicit_subscriptions()
+        )
+        self._emit(
+            "server.unsubscribe",
+            severity="DEBUG",
+            room=room.room_id,
+            viewer=session.viewer_id,
+            subscribed=len(subscribed),
+        )
+        if self.network is not None:
+            self._net_send(
+                session.node_id,
+                MessageKind.SUBSCRIBE_ACK,
+                {
+                    "session_id": session_id,
+                    "room_id": room.room_id,
+                    "subscribed": list(subscribed),
+                    "outcome": {},
+                },
+            )
+        return subscribed
+
     def store_document(self, session_id: str, document: MultimediaDocument) -> None:
         """Explicitly persist a document (requires modify permission)."""
         session = self._session(session_id)
@@ -347,22 +473,47 @@ class InteractionServer:
     ) -> int:
         """Stream the payload of one presentation alternative to a client.
 
-        The wire is charged the presentation's full byte size; the message
+        The wire is charged the presentation's byte size; the message
         body itself only describes the payload, so benchmarks measure
         transfer time without allocating megabytes per image.
+
+        With ``interest_mode="cpnet"`` heavy payloads ship as a layer
+        prefix of the multi-layer codec stream (simulcast): the member's
+        §4.4 ``tuning.bandwidth`` level picks how many layers they
+        receive, and one cached frame per (body, layer) serves every
+        subscriber at that level — encodes stay flat as fetchers grow.
         """
         session, room = self._session_room(session_id)
         self.policy.require(session.viewer_id, PERM_VIEW)
         node = room.document.component(component)
         size = node.presentation_size(value)
+        if self.interest_mode != "cpnet":
+            if self.network is not None:
+                body = {"component": component, "value": value, "size": size}
+                frame = encode_message(MessageKind.PAYLOAD, body)
+                self._net_send(
+                    session.node_id, MessageKind.PAYLOAD,
+                    body, size_bytes=max(size, frame.size_bytes), frame=frame,
+                )
+            return size
+        num_layers = NUM_LAYERS
+        if size >= SIMULCAST_FLOOR:
+            spec = room.presentation_for(session.viewer_id, now=self._now())
+            level = spec.outcome.get(TUNING_VARIABLE, BANDWIDTH_HIGH)
+            num_layers = layers_for_level(level)
+            if num_layers < NUM_LAYERS:
+                self._m_interest_downgrades.inc()
+                self._m_interest_bytes_saved.inc(
+                    size - layer_prefix_size(size, num_layers)
+                )
+        shipped = layer_prefix_size(size, num_layers)
         if self.network is not None:
-            body = {"component": component, "value": value, "size": size}
-            frame = encode_message(MessageKind.PAYLOAD, body)
+            frame = room.payload_frame(component, value, num_layers, shipped)
             self._net_send(
                 session.node_id, MessageKind.PAYLOAD,
-                body, size_bytes=max(size, frame.size_bytes), frame=frame,
+                frame.payload, size_bytes=max(shipped, frame.size_bytes), frame=frame,
             )
-        return size
+        return shipped
 
     def fetch_zoom_region(
         self,
@@ -421,19 +572,40 @@ class InteractionServer:
             for member_id in room.member_sessions:
                 member = self._session(member_id)
                 spec = room.presentation_for(member.viewer_id, now=self._now())
+                known = member.known_spec(doc_id)
                 if self.diff_propagation:
-                    delta = diff_presentations(member.known_spec(doc_id), spec.outcome)
+                    delta = diff_presentations(known, spec.outcome)
                 else:
                     delta = dict(spec.outcome)
                 if not delta:
                     continue
-                updates[member_id] = delta
-                member.remember_spec(doc_id, spec.outcome)
+                # Interest filtering: ship only the parts this member
+                # subscribes to. The change's author always sees their own
+                # change; everyone else pays zero wire bytes for updates
+                # outside their interest. The known-spec merge tracks what
+                # was actually sent, so a later SUBSCRIBE can compute an
+                # exact catch-up diff.
+                if member.viewer_id == change.viewer_id:
+                    filtered = delta
+                else:
+                    filtered = room.interest.filter_delta(member_id, delta)
+                if not filtered:
+                    self._m_interest_filtered.inc()
+                    self._m_interest_bytes_saved.inc(encoded_size(delta))
+                    continue
+                if len(filtered) != len(delta):
+                    self._m_interest_bytes_saved.inc(
+                        encoded_size(delta) - encoded_size(filtered)
+                    )
+                updates[member_id] = filtered
+                merged = dict(known) if known else {}
+                merged.update(filtered)
+                member.remember_spec(doc_id, merged)
                 if self.network is not None:
-                    delta_key = tuple(sorted(delta.items()))
+                    delta_key = tuple(sorted(filtered.items()))
                     frame = update_frames.get(delta_key)
                     if frame is None:
-                        body = {"doc_id": doc_id, "changes": delta, "seq": change.seq}
+                        body = {"doc_id": doc_id, "changes": filtered, "seq": change.seq}
                         frame = update_frames[delta_key] = encode_message(
                             MessageKind.PRESENTATION_UPDATE, body
                         )
@@ -443,7 +615,7 @@ class InteractionServer:
                     )
                 # Diff-vs-full accounting: what this update costs on the
                 # wire against what a whole-outcome resend would cost.
-                delta_size = encoded_size(delta)
+                delta_size = encoded_size(filtered)
                 full_size = encoded_size(dict(spec.outcome))
                 self._m_prop_diff_bytes.inc(delta_size)
                 self._m_prop_full_bytes.inc(full_size)
@@ -465,13 +637,23 @@ class InteractionServer:
                     "doc_id": doc_id, "seq": change.seq,
                     "viewer": change.viewer_id, "kind": change.kind, "data": change.data,
                 }
-                # Multicast fan-out: one encode, the same frame to every
-                # member — the bytes were identical per recipient anyway.
-                event_frame = encode_message(MessageKind.PEER_EVENT, event_body)
+                changed_component = change.data.get("component")
+                # Multicast fan-out: one encode (lazily, on the first
+                # interested recipient), the same frame to every member —
+                # the bytes were identical per recipient anyway.
+                event_frame: Frame | None = None
                 for member_id in room.member_sessions:
                     member = self._session(member_id)
                     if member.viewer_id == change.viewer_id:
                         continue
+                    if changed_component is not None and not room.interest.covers(
+                        member_id, changed_component
+                    ):
+                        self._m_interest_filtered.inc()
+                        self._m_interest_bytes_saved.inc(encoded_size(event_body))
+                        continue
+                    if event_frame is None:
+                        event_frame = encode_message(MessageKind.PEER_EVENT, event_body)
                     self._net_send(
                         member.node_id, MessageKind.PEER_EVENT,
                         event_body, frame=event_frame,
@@ -728,6 +910,16 @@ class InteractionServer:
             self.handle_freeze(session_id, payload["component"])
         elif kind == MessageKind.RELEASE:
             self.handle_release(session_id, payload["component"])
+        elif kind == MessageKind.SUBSCRIBE:
+            self.handle_subscribe(
+                session_id, payload.get("components", []),
+                replace=payload.get("replace", False),
+            )
+        elif kind == MessageKind.UNSUBSCRIBE:
+            self.handle_unsubscribe(
+                session_id, components=payload.get("components"),
+                all_components=payload.get("all", False),
+            )
         elif kind == MessageKind.FETCH_PAYLOAD:
             if "rect" in payload:
                 top, left, height, width = payload["rect"]

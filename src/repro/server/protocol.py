@@ -30,6 +30,8 @@ class MessageKind:
     FETCH_PAYLOAD = "fetch_payload"
     ANNOTATE = "annotate"
     MONITOR = "monitor"
+    SUBSCRIBE = "subscribe"
+    UNSUBSCRIBE = "unsubscribe"
 
     # server -> client
     JOIN_ACK = "join_ack"
@@ -41,6 +43,7 @@ class MessageKind:
     MONITOR_ACK = "monitor_ack"
     TELEMETRY = "telemetry"
     TELEMETRY_EVENT = "telemetry_event"
+    SUBSCRIBE_ACK = "subscribe_ack"
 
     # server <-> server (the repro.cluster tier): gateway-to-shard message
     # forwarding, primary-to-replica log shipping, and liveness/failover.
@@ -52,11 +55,11 @@ class MessageKind:
 
     CLIENT_KINDS = (
         JOIN, LEAVE, CHOICE, OPERATION, FREEZE, RELEASE, FETCH_PAYLOAD, ANNOTATE,
-        MONITOR,
+        MONITOR, SUBSCRIBE, UNSUBSCRIBE,
     )
     SERVER_KINDS = (
         JOIN_ACK, PRESENTATION_UPDATE, PEER_EVENT, PAYLOAD, BROADCAST, ERROR,
-        MONITOR_ACK, TELEMETRY, TELEMETRY_EVENT,
+        MONITOR_ACK, TELEMETRY, TELEMETRY_EVENT, SUBSCRIBE_ACK,
     )
     CLUSTER_KINDS = (ROUTE, REPLICATE, ACK, HEARTBEAT, PROMOTE)
 

@@ -21,6 +21,8 @@ from repro.errors import FrozenObjectError, RoomError
 from repro.obs import get_registry
 from repro.cpnet.updates import OperationVariable
 from repro.document.document import MultimediaDocument
+from repro.interest.registry import InterestRegistry
+from repro.net.codec import Frame, encode_message
 from repro.presentation.engine import PresentationEngine, ViewerChoice
 from repro.presentation.spec import PresentationSpec
 
@@ -48,6 +50,13 @@ class Room:
         self._next_seq = 1
         self._ack: dict[str, int] = {}      # session_id -> highest seq seen
         self.annotations: dict[str, list[dict[str, Any]]] = {}
+        #: Who cares about what (repro.interest): drives update filtering.
+        self.interest = InterestRegistry(document.component_paths())
+        #: Simulcast frame cache: one encoded PAYLOAD frame per
+        #: (component, value, layer-prefix) — every subscriber at the same
+        #: tuning level reuses the same bytes, keeping encodes per
+        #: distinct (body, layer) flat no matter how many fetch.
+        self._payload_frames: dict[tuple[str, str, int], Frame] = {}
         obs = get_registry()
         self._m_changes = obs.counter("server.room.changes")
         # Labelled by room so concurrent rooms stop stomping one shared
@@ -77,6 +86,7 @@ class Room:
             raise RoomError(f"session {session_id!r} is already in room {self.room_id!r}")
         self._members[session_id] = viewer_id
         self._ack[session_id] = self._next_seq - 1  # no need to see old history
+        self.interest.join(session_id)
         self.engine.register_viewer(viewer_id)
 
     def leave(self, session_id: str) -> str:
@@ -84,6 +94,9 @@ class Room:
         viewer_id = self._require_member(session_id)
         del self._members[session_id]
         self._ack.pop(session_id, None)
+        # A departed session must never linger in any fan-out decision:
+        # its interest entry goes with its membership, atomically.
+        self.interest.forget(session_id)
         for component, holder in list(self._frozen.items()):
             if holder == viewer_id:
                 del self._frozen[component]
@@ -95,6 +108,47 @@ class Room:
 
     def viewer_of(self, session_id: str) -> str:
         return self._require_member(session_id)
+
+    # ----- interest -------------------------------------------------------------
+
+    def subscribe(
+        self, session_id: str, components: list[str], replace: bool = False
+    ) -> tuple[str, ...]:
+        """Explicitly subscribe a member to component paths."""
+        self._require_member(session_id)
+        for path in components:
+            self.document.component(path)  # raises on unknown paths
+        return self.interest.subscribe(session_id, components, replace=replace)
+
+    def unsubscribe(
+        self,
+        session_id: str,
+        components: list[str] | None = None,
+        all_components: bool = False,
+    ) -> tuple[str, ...]:
+        """Drop a member's subscriptions (``all_components`` empties them)."""
+        self._require_member(session_id)
+        for path in components or ():
+            self.document.component(path)
+        return self.interest.unsubscribe(
+            session_id, components, all_components=all_components
+        )
+
+    def payload_frame(
+        self, component: str, value: str, layers: int, size: int
+    ) -> Frame:
+        """The cached PAYLOAD frame for one (body, layer-prefix) pair."""
+        key = (component, value, layers)
+        frame = self._payload_frames.get(key)
+        if frame is None:
+            body = {
+                "component": component,
+                "value": value,
+                "size": size,
+                "layers": layers,
+            }
+            frame = self._payload_frames[key] = encode_message("payload", body)
+        return frame
 
     def _require_member(self, session_id: str) -> str:
         try:

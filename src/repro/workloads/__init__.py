@@ -9,11 +9,14 @@
 * :mod:`repro.workloads.cluster` — many concurrent consultations driven
   through a sharded cluster (the scale-out benchmark's scenario);
 * :mod:`repro.workloads.chaos` — the three-phase conference the chaos
-  convergence suite replays under seeded fault plans.
+  convergence suite replays under seeded fault plans;
+* :mod:`repro.workloads.interest` — deterministic sparse "who watches
+  what" subscription shapes (the interest-management scenario).
 """
 
 from repro.workloads.chaos import run_chaos_conference
 from repro.workloads.cluster import run_cluster_conference
+from repro.workloads.interest import primitive_paths, sparse_subscriptions
 from repro.workloads.records import generate_record, generate_record_corpus
 from repro.workloads.sessions import consultation_events, random_choice_events
 
@@ -21,7 +24,9 @@ __all__ = [
     "consultation_events",
     "generate_record",
     "generate_record_corpus",
+    "primitive_paths",
     "random_choice_events",
     "run_chaos_conference",
     "run_cluster_conference",
+    "sparse_subscriptions",
 ]

@@ -27,6 +27,7 @@ from typing import Any
 from repro.chaos.plan import FaultPlan
 from repro.cluster.harness import ClusterHarness
 from repro.db.orm import MultimediaObjectStore
+from repro.workloads.interest import primitive_paths
 from repro.workloads.records import generate_record
 from repro.workloads.sessions import consultation_events
 
@@ -53,6 +54,7 @@ def run_chaos_conference(
     failure_timeout: float = 2.0,
     horizon: float = HORIZON,
     reliability: Any = True,
+    interest_churn: bool = False,
 ) -> dict[str, Any]:
     """Drive the three-phase conference; return the final client state.
 
@@ -63,6 +65,16 @@ def run_chaos_conference(
     this brief must be repaired by retransmission, not by failover.
     ``crash_owner_of`` names a document whose owning shard fail-stops at
     :data:`CRASH_AT`, which *is* long enough to trigger failover.
+
+    ``interest_churn=True`` turns on CP-net interest management and has
+    each room's viewer 1 narrow, then churn, its subscription set across
+    the same fault windows the choices cross — duplicated, reordered and
+    dropped SUBSCRIBE/UNSUBSCRIBE frames land on the registry and ride
+    the replication log through the crash. After its own phase-3 choices
+    the churning client issues one replace-all re-subscribe; the ack's
+    catch-up diff (computed against what the server *actually* sent it)
+    heals whatever the churn raced past, so seeded runs must still end
+    byte-identical to the control.
     """
     docs = [f"case-{i}" for i in range(num_rooms)]
     records = {}
@@ -78,7 +90,10 @@ def run_chaos_conference(
         failure_timeout=failure_timeout,
         reliability=reliability,
         plan=plan,
+        interest_mode="cpnet" if interest_churn else "off",
     )
+    primitives = {doc_id: primitive_paths(records[doc_id]) for doc_id in docs}
+    churning = interest_churn and clients_per_room > 1
     clients: dict[str, list[Any]] = {}
     for index, doc_id in enumerate(docs):
         room = [
@@ -101,6 +116,11 @@ def run_chaos_conference(
     for doc_id in docs:
         for path, value in streams[doc_id][:third]:
             clients[doc_id][0].choose(path, value)
+        if churning:
+            # Viewer 1 narrows to half the primitives before any fault
+            # window opens; viewer 0 keeps its CP-net-seeded interest.
+            paths = primitives[doc_id]
+            clients[doc_id][1].subscribe(paths[: len(paths) // 2], replace=True)
     harness.run()
 
     base = harness.clock.now  # timeline anchor: phase 1 fully drained
@@ -122,13 +142,24 @@ def run_chaos_conference(
 
     def phase2() -> None:
         for doc_id in docs:
-            for path, value in streams[doc_id][third : 2 * third]:
+            paths = primitives[doc_id]
+            for i, (path, value) in enumerate(streams[doc_id][third : 2 * third]):
                 clients[doc_id][0].choose(path, value)
+                if churning:
+                    # Subscription churn racing the partition window the
+                    # choices cross: these frames get dropped, duplicated
+                    # and reordered right alongside the updates they gate.
+                    clients[doc_id][1].unsubscribe([paths[i % len(paths)]])
+                    clients[doc_id][1].subscribe([paths[(i + 1) % len(paths)]])
 
     def phase3() -> None:
         for doc_id in docs:
             for path, value in streams[doc_id][2 * third :]:
                 clients[doc_id][1].choose(path, value)
+            if churning:
+                # The healing re-subscribe: the ack's catch-up diff fills
+                # in everything interest filtering withheld during churn.
+                clients[doc_id][1].subscribe(primitives[doc_id], replace=True)
 
     harness.clock.schedule_at(base + PHASE2_AT, phase2)
     if victim is not None:

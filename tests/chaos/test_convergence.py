@@ -28,6 +28,24 @@ def test_two_seeds_converge_to_control(tmp_path):
     assert report["control"]["displayed"]
 
 
+def test_subscription_churn_still_converges(tmp_path):
+    """Interest churn racing the fault windows must not break convergence.
+
+    CP-net seeding plus subscribe/unsubscribe frames dropped, duplicated
+    and reordered across the partition and the primary crash: the final
+    replace-all re-subscribe's catch-up heals every divergence, so the
+    seeded run still ends byte-identical to its (equally churning)
+    fault-free control.
+    """
+    report = run_convergence(str(tmp_path), seeds=(1,), quick=True, interest_churn=True)
+    assert report["ok"], report
+    entry = report["seeds"][1]
+    assert entry["converged"]
+    assert entry["delivery_failures"] == []
+    assert sum(entry["injected"].values()) > 0
+    assert entry["failovers"] == 1
+
+
 def test_cli_reports_success(tmp_path, capsys):
     status = main(["--seeds", "3", "--quick", "--root", str(tmp_path)])
     out = capsys.readouterr().out

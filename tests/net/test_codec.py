@@ -45,6 +45,14 @@ KIND_PAYLOADS = {
         "annotation": {"text": "look here", "rect": [10, 20, 30, 40]},
     },
     MessageKind.MONITOR: {"viewer_id": "ops"},
+    MessageKind.SUBSCRIBE: {
+        "session_id": "server:session-1",
+        "components": ["imaging.ct_head", "labs"],
+        "replace": True,
+    },
+    MessageKind.UNSUBSCRIBE: {
+        "session_id": "server:session-1", "components": ["labs"], "all": False,
+    },
     MessageKind.JOIN_ACK: {
         "session_id": "server:session-1", "room_id": "server:room-1",
         "doc_id": "record-17",
@@ -72,6 +80,11 @@ KIND_PAYLOADS = {
     },
     MessageKind.TELEMETRY_EVENT: {
         "session_id": "m-1", "event": {"name": "room.joined", "severity": "INFO"},
+    },
+    MessageKind.SUBSCRIBE_ACK: {
+        "session_id": "server:session-1", "room_id": "server:room-1",
+        "subscribed": ["imaging.ct_head", "labs"],
+        "outcome": {"labs": "full"},
     },
     MessageKind.ROUTE: {
         "sender": "client-dr-lee", "kind": "choice",
@@ -166,6 +179,11 @@ class TestStaticTable:
         assert STATIC_STRINGS.index("net_ack") == 23
         assert STATIC_STRINGS.index("batch") == 24
 
+    def test_interest_kinds_appended_after_pinned_prefix(self):
+        # New vocabulary goes at the end, never into the pinned prefix.
+        for s in ("subscribe", "unsubscribe", "subscribe_ack"):
+            assert STATIC_STRINGS.index(s) > STATIC_STRINGS.index("batch")
+
     def test_static_strings_are_unique(self):
         assert len(set(STATIC_STRINGS)) == len(STATIC_STRINGS)
 
@@ -255,6 +273,50 @@ class TestFrameHonesty:
             frame = encode_message("error", payload)  # stateless
             kind_prefix = value_size("error")
             assert value_size(payload) == frame.size_bytes - kind_prefix
+
+
+class TestInterestKinds:
+    """The three repro.interest kinds behave like first-class protocol."""
+
+    def test_component_paths_compress_across_churn(self):
+        # Subscribe/unsubscribe churn repeats the same component paths;
+        # on one connection table the repeats collapse to references.
+        enc, dec = StringInterner(), StringInterner()
+        paths = ["imaging0.item2", "imaging0.item4"]
+        first = encode_message(
+            MessageKind.SUBSCRIBE,
+            {"session_id": "server:session-9", "components": paths},
+            interner=enc,
+        )
+        second = encode_message(
+            MessageKind.UNSUBSCRIBE,
+            {"session_id": "server:session-9", "components": paths},
+            interner=enc,
+        )
+        assert second.size_bytes < first.size_bytes
+        for frame, kind in ((first, "subscribe"), (second, "unsubscribe")):
+            got_kind, payload = decode_message(frame.data, interner=dec)
+            assert got_kind == kind
+            assert payload["components"] == paths
+
+    def test_ack_roundtrips_catchup_outcome(self):
+        payload = {
+            "session_id": "s", "room_id": "r",
+            "subscribed": ["labs"], "outcome": {"labs": "full", "notes": "text"},
+        }
+        frame = encode_message(MessageKind.SUBSCRIBE_ACK, payload)
+        assert decode_message(frame.data) == (MessageKind.SUBSCRIBE_ACK, payload)
+
+    @pytest.mark.parametrize(
+        "kind",
+        [MessageKind.SUBSCRIBE, MessageKind.UNSUBSCRIBE, MessageKind.SUBSCRIBE_ACK],
+    )
+    def test_malformed_frames_raise(self, kind):
+        frame = encode_message(kind, KIND_PAYLOADS[kind])
+        with pytest.raises(CodecError):
+            decode_message(frame.data[:-2])  # truncated
+        with pytest.raises(CodecError):
+            decode_message(frame.data + b"\x01")  # trailing garbage
 
 
 class TestEnvelopeAndBatch:
