@@ -38,17 +38,30 @@ DEFAULT_SEEDS = (1, 2, 3, 4, 5)
 
 
 def _one_run(
-    root: str, name: str, plan: FaultPlan | None, quick: bool, **kwargs: Any
+    root: str,
+    name: str,
+    plan: FaultPlan | None,
+    quick: bool,
+    tracing: bool = False,
+    **kwargs: Any,
 ) -> dict[str, Any]:
     """One isolated conference run (fresh obs context, fresh database)."""
+    from contextlib import nullcontext
+
     registry = obs.MetricsRegistry()
     with obs.use_registry(registry):
         log = obs.EventLog()
         with obs.use_event_log(log):
+            tracer = (
+                obs.use_dtrace(obs.DeliveryTracer(sample_every=1))
+                if tracing
+                else nullcontext()
+            )
             db = Database(f"{root}/{name}")
             try:
-                store = MultimediaObjectStore(db)
-                result = run_chaos_conference(store, plan=plan, **kwargs)
+                with tracer:
+                    store = MultimediaObjectStore(db)
+                    result = run_chaos_conference(store, plan=plan, **kwargs)
             finally:
                 db.close()
             counters = registry.snapshot()["counters"]
@@ -68,6 +81,7 @@ def run_convergence(
     crash: bool = True,
     partition: bool = True,
     interest_churn: bool = False,
+    tracing: bool = False,
 ) -> dict[str, Any]:
     """Control + one chaos run per seed; report agreement.
 
@@ -80,6 +94,9 @@ def run_convergence(
     ``interest_churn`` runs the scenario with CP-net interest management
     on and subscriptions churning across the fault windows (see
     :func:`~repro.workloads.chaos.run_chaos_conference`).
+    ``tracing`` turns full-sampling delivery tracing on for the seeded
+    chaos runs only — the control stays untraced, so convergence then
+    also proves trace trailers are invisible to the data plane.
     """
     events_per_room = 3 if quick else 6
     kwargs = dict(
@@ -100,7 +117,8 @@ def run_convergence(
     for seed in seeds:
         plan = FaultPlan(seed=seed, **DEFAULT_RATES)
         result = _one_run(
-            root, f"seed-{seed}", plan, quick, partition=partition, **kwargs
+            root, f"seed-{seed}", plan, quick,
+            tracing=tracing, partition=partition, **kwargs,
         )
         retries = sum(
             value
@@ -145,6 +163,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="churn subscriptions across the fault windows (repro.interest)",
     )
+    parser.add_argument(
+        "--tracing",
+        action="store_true",
+        help="trace the chaos runs at full sampling (control stays untraced)",
+    )
     parser.add_argument("--root", default=None, help="scratch dir (default: mkdtemp)")
     args = parser.parse_args(argv)
     root = args.root
@@ -159,6 +182,7 @@ def main(argv: list[str] | None = None) -> int:
         crash=not args.no_crash,
         partition=not args.no_partition,
         interest_churn=args.interest_churn,
+        tracing=args.tracing,
     )
     for seed, entry in report["seeds"].items():
         status = "ok" if entry["ok"] else "DIVERGED"

@@ -15,9 +15,10 @@ from repro.errors import ClientError
 from repro import obs
 from repro.client.buffer import ClientBuffer, entry_key
 from repro.client.view import RenderTree
-from repro.net.codec import StringInterner, encode_message
+from repro.net.codec import StringInterner, encode_message, stamp_frame
 from repro.net.message import Message
 from repro.net.network import SimulatedNetwork
+from repro.obs.dtrace import TRACED_CLIENT_KINDS, get_dtrace
 from repro.presentation.tuning import (
     BANDWIDTH_LOW,
     BANDWIDTH_MEDIUM,
@@ -52,6 +53,7 @@ class ClientModule:
         ).labels(viewer_id)
         self._m_join_latency = registry.histogram("client.join_latency_s")
         self._watchdog = obs.get_watchdog()
+        self._dtrace = get_dtrace()
         self.auto_fetch = auto_fetch
         self.session_id: str | None = None
         self.room_id: str | None = None
@@ -181,6 +183,15 @@ class ClientModule:
         if self.network is None:
             raise ClientError("client is not attached to a network")
         frame = encode_message(kind, payload, interner=self._wire_table)
+        dtrace = self._dtrace
+        if dtrace.enabled and kind in TRACED_CLIENT_KINDS:
+            # Root of the delivery trace: one trace per sampled user
+            # action, carried end-to-end on the wire from here.
+            ctx = dtrace.start_trace(
+                self.node_id, kind, self._now(), room=self.room_id
+            )
+            if ctx is not None:
+                frame = stamp_frame(frame, (ctx,))
         self.network.send(
             self.node_id, self.network.hub_id, kind, payload=payload, frame=frame
         )
@@ -259,6 +270,10 @@ class ClientModule:
         self._fetch_missing(
             {path: payload["changes"][path] for path in changed if path in payload["changes"]}
         )
+        ctx = self._dtrace.current()
+        if ctx is not None:
+            # End of the line: the update is on this client's display.
+            self._dtrace.finish_delivery(ctx, self.node_id, self._now())
 
     def _fetch_missing(self, changes: dict[str, str]) -> None:
         """Request payload bytes for newly displayed presentation forms."""

@@ -21,10 +21,11 @@ from repro.errors import ClusterError
 from repro.cluster.failover import FailureDetector, schedule_periodic
 from repro.cluster.ring import HashRing
 from repro.cluster.wire import encode_shardbound, shardbound_wrapper
-from repro.net.codec import Frame, StringInterner, encode_message
+from repro.net.codec import Frame, StringInterner, encode_message, stamp_frame
 from repro.net.message import Message
 from repro.net.network import SimulatedNetwork
 from repro.obs import LATENCY_BUCKETS
+from repro.obs.dtrace import HOP_GATEWAY_ROUTE, get_dtrace
 from repro.server.protocol import MessageKind
 from repro.server.session import Session
 from repro.util.ids import IdGenerator
@@ -65,6 +66,7 @@ class Gateway:
         registry = obs.get_registry()
         self._registry = registry
         self._events = obs.get_event_log()
+        self._dtrace = get_dtrace()
         self._m_routed_messages = registry.counter("gateway.routed_messages")
         self._f_routed_bytes = registry.counter_family(
             "gateway.routed_bytes", ("shard", "direction")
@@ -279,6 +281,11 @@ class Gateway:
         envelope = encode_shardbound(
             wrapper, inner=frame, interner=self._shard_tables.get(shard)
         )
+        ctx = self._dtrace.current()
+        if ctx is not None:
+            # Carry the uplink's trace context on the ROUTE envelope so
+            # the shard can chain its queueing span to the same trace.
+            envelope = stamp_frame(envelope, (ctx,))
         size = envelope.size_bytes
         self.network.send(
             self.node_id, shard, MessageKind.ROUTE,
@@ -376,6 +383,33 @@ class Gateway:
         # The shard rides its already-encoded inner frame inside the
         # envelope; forwarding hands the same frame to the client link.
         inner_frame = wrapper.get("frame")
+        dtrace = self._dtrace
+        if dtrace.enabled and inner_frame is not None:
+            ctx = dtrace.current()
+            if ctx is not None:
+                # In-band forward: the ROUTE envelope carried the trace
+                # context, chain the client-bound frame to it.
+                before = inner_frame.size_bytes
+                inner_frame = stamp_frame(inner_frame, (ctx,))
+                size += inner_frame.size_bytes - before
+            elif inner_frame.trace:
+                # The shard's batcher flushed this frame outside any
+                # inbound scope: the envelope is unstamped but the inner
+                # frame kept its member contexts. Record the backbone leg
+                # here and advance each chain past the gateway.
+                now = self.network.clock.now
+                advanced = tuple(
+                    dtrace.record_hop(
+                        c, HOP_GATEWAY_ROUTE, self.node_id, c.sent_at_s, now,
+                        shard=shard_id,
+                    )
+                    if c.trace_id
+                    else c
+                    for c in inner_frame.trace
+                )
+                before = inner_frame.size_bytes
+                inner_frame = stamp_frame(inner_frame, advanced)
+                size += inner_frame.size_bytes - before
         if kind == MessageKind.JOIN_ACK:
             self._session_route[inner["session_id"]] = shard_id
             self._session_key[inner["session_id"]] = inner["doc_id"]

@@ -40,6 +40,7 @@ class ClusterHarness:
         reliability: Any = None,
         plan: Any = None,
         interest_mode: str = "off",
+        batch_window_s: float = 0.0,
     ) -> None:
         if num_shards < 1:
             raise ClusterError(f"a cluster needs >= 1 shard, got {num_shards}")
@@ -62,6 +63,7 @@ class ClusterHarness:
         self._service_rate = service_rate
         self._replication_factor = replication_factor
         self._interest_mode = interest_mode
+        self._batch_window_s = batch_window_s
         self.shards: dict[str, ShardServer] = {}
         self.clients: dict[str, ClientModule] = {}
         for index in range(num_shards):
@@ -85,6 +87,7 @@ class ClusterHarness:
             service_rate=self._service_rate,
             replication_factor=self._replication_factor,
             interest_mode=self._interest_mode,
+            batch_window_s=self._batch_window_s,
         )
         self.network.attach_backbone(shard, uplink=uplink, downlink=downlink)
         self.gateway.register_shard(shard_id)

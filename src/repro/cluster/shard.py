@@ -25,10 +25,11 @@ from repro.cluster.wire import (
     encode_clientbound,
 )
 from repro.db.orm import MultimediaObjectStore
-from repro.net.codec import Frame, StringInterner, encode_message
+from repro.net.codec import Frame, StringInterner, encode_message, stamp_frame
 from repro.net.message import Message
 from repro.net.network import SimulatedNetwork
 from repro.net.simclock import SimClock
+from repro.obs.dtrace import HOP_SHARD_QUEUE, TraceContext, get_dtrace
 from repro.server.interaction import InteractionServer
 from repro.server.permissions import PermissionPolicy
 from repro.server.protocol import MessageKind
@@ -143,6 +144,7 @@ class ShardServer:
         service_rate: float | None = None,
         replication_factor: int = 2,
         interest_mode: str = "off",
+        batch_window_s: float = 0.0,
     ) -> None:
         self.node_id = shard_id
         self.network = network
@@ -156,7 +158,7 @@ class ShardServer:
         self._transport = _GatewayTransport(self)
         self.server = InteractionServer(
             store, policy=policy, network=self._transport, node_id=shard_id,
-            interest_mode=interest_mode,
+            interest_mode=interest_mode, batch_window_s=batch_window_s,
         )
         self.queue = ServiceQueue(network.clock, service_rate)
         self._ship: dict[str, ShipLog] = {}          # replica shard -> log
@@ -175,6 +177,7 @@ class ShardServer:
         self._gw_table = StringInterner()
         self._capture: list[tuple[str, Any]] | None = None
         self._failpoints = get_failpoints()
+        self._dtrace = get_dtrace()
         registry = obs.get_registry()
         self._events = obs.get_event_log()
         self._m_ops_in = registry.counter_family("cluster.shard.ops", ("shard",)).labels(
@@ -237,7 +240,17 @@ class ShardServer:
             sender = payload["sender"]
             kind = payload["kind"]
             inner = payload["payload"]
-            self.queue.submit(lambda: self._handle_client(sender, kind, inner))
+            ctx = self._dtrace.current() if self._dtrace.enabled else None
+            if ctx is not None:
+                # The service queue may dispatch much later than arrival;
+                # capture the context now so the queueing span covers the
+                # whole enqueue→dispatch wait.
+                enqueued = self.network.clock.now
+                self.queue.submit(
+                    lambda: self._dispatch_client(ctx, enqueued, sender, kind, inner)
+                )
+            else:
+                self.queue.submit(lambda: self._handle_client(sender, kind, inner))
         elif message.kind == MessageKind.REPLICATE:
             self._handle_replicate(message.sender, payload)
         elif message.kind == MessageKind.ACK:
@@ -255,6 +268,23 @@ class ShardServer:
             )
 
     # ----- client ops -------------------------------------------------------------
+
+    def _dispatch_client(
+        self,
+        ctx: TraceContext,
+        enqueued: float,
+        sender_node: str,
+        kind: str,
+        payload: dict[str, Any],
+    ) -> None:
+        """Traced dispatch: record the service-queue wait, then serve."""
+        dtrace = self._dtrace
+        advanced = dtrace.record_hop(
+            ctx, HOP_SHARD_QUEUE, self.node_id, enqueued,
+            self.network.clock.now, kind=kind,
+        )
+        with dtrace.inbound(advanced):
+            self._handle_client(sender_node, kind, payload)
 
     def _handle_client(self, sender_node: str, kind: str, payload: dict[str, Any]) -> None:
         if not self.alive:
@@ -312,6 +342,13 @@ class ShardServer:
         # forward the same encoding to the client link untouched.
         wrapper["frame"] = frame
         envelope, wire_size = encode_clientbound(wrapper, frame, self._gw_table)
+        ctx = self._dtrace.current()
+        if ctx is not None:
+            # Chain the backbone leg: the gateway picks the context off
+            # the ROUTE envelope and restamps the inner client frame.
+            before = envelope.size_bytes
+            envelope = stamp_frame(envelope, (ctx,))
+            wire_size += envelope.size_bytes - before
         self.network.send(
             self.node_id, self.gateway_id, MessageKind.ROUTE,
             payload=wrapper, size_bytes=wire_size, frame=envelope,
@@ -399,6 +436,9 @@ class ShardServer:
             "entries": [entry.to_wire() for entry in entries],
         }
         frame = encode_message(MessageKind.REPLICATE, body)
+        ctx = self._dtrace.current()
+        if ctx is not None:
+            frame = stamp_frame(frame, (ctx,))
         size = frame.size_bytes
         self.network.send(
             self.node_id, replica_id, MessageKind.REPLICATE,

@@ -29,8 +29,9 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.net.codec import Frame, encode_batch, encode_message
+from repro.net.codec import Frame, encode_batch, encode_message, stamp_frame
 from repro.obs import COUNT_BUCKETS, get_registry
+from repro.obs.dtrace import HOP_BATCH_WAIT, NULL_CONTEXT, get_dtrace
 
 #: Kinds eligible for coalescing by default: the high-rate, small
 #: propagation traffic. Everything else acts as an ordering barrier.
@@ -57,9 +58,11 @@ class Batcher:
         self.window_s = window_s
         self.max_bytes = max_bytes
         self.batch_kinds = frozenset(batch_kinds)
-        self._pending: dict[str, list[Frame]] = {}
+        # Per destination: (frame, its trace context or None, enqueue time).
+        self._pending: dict[str, list[tuple[Frame, Any, float]]] = {}
         self._pending_bytes: dict[str, int] = {}
         self._armed: set[str] = set()
+        self._dtrace = get_dtrace()
         registry = get_registry()
         self._m_enqueued = registry.counter("batch.enqueued")
         self._m_flushes = registry.counter("batch.flushes")
@@ -96,7 +99,8 @@ class Batcher:
             )
             return
         queue = self._pending.setdefault(recipient, [])
-        queue.append(frame)
+        ctx = frame.trace[-1] if frame.trace else None
+        queue.append((frame, ctx, self._network.clock.now))
         self._m_enqueued.inc()
         pending = self._pending_bytes.get(recipient, 0) + frame.size_bytes
         self._pending_bytes[recipient] = pending
@@ -118,35 +122,59 @@ class Batcher:
             for destination in list(self._pending):
                 self.flush(destination)
             return
-        frames = self._pending.pop(recipient, None)
+        items = self._pending.pop(recipient, None)
         self._pending_bytes.pop(recipient, None)
-        if not frames:
+        if not items:
             return
         has_node = getattr(self._network, "has_node", None)
         if has_node is not None and not has_node(recipient):
             return  # destination detached while the window was open
         self._m_flushes.inc()
-        self._h_occupancy.observe(len(frames))
-        if len(frames) == 1:
-            frame = frames[0]
+        self._h_occupancy.observe(len(items))
+        dtrace = self._dtrace
+        now = self._network.clock.now
+        if len(items) == 1:
+            frame, ctx, enqueued_at = items[0]
+            if dtrace.enabled and ctx is not None:
+                # The lone frame still waited out the window: record the
+                # batch_wait span and restamp so downstream hops chain
+                # from the flush, not the enqueue.
+                ctx = dtrace.record_hop(
+                    ctx, HOP_BATCH_WAIT, self._sender, enqueued_at, now, size=1
+                )
+                frame = stamp_frame(frame, (ctx,))
             self._network.send(
                 self._sender, recipient, frame.kind,
                 payload=frame.payload, size_bytes=frame.size_bytes, frame=frame,
             )
             return
+        frames = [frame for frame, _, _ in items]
         entries = [
             {"kind": f.kind, "payload": f.payload, "size": f.size_bytes}
             for f in frames
         ]
         batch = encode_batch(frames, entries)
+        if dtrace.enabled and any(ctx is not None for _, ctx, _ in items):
+            # The batch trailer links each member's span chain through
+            # the shared frame: one context per entry, in entry order.
+            contexts = tuple(
+                dtrace.record_hop(
+                    ctx, HOP_BATCH_WAIT, self._sender, enqueued_at, now,
+                    size=len(items),
+                )
+                if ctx is not None
+                else NULL_CONTEXT
+                for _, ctx, enqueued_at in items
+            )
+            batch = stamp_frame(batch, contexts)
         self._m_coalesced.inc(len(frames))
         self._m_bytes.inc(batch.size_bytes)
         self._network.send(
             self._sender, recipient, batch.kind,
-            payload=entries, size_bytes=batch.size_bytes, frame=batch,
+            payload=batch.payload, size_bytes=batch.size_bytes, frame=batch,
         )
 
     @property
     def pending_count(self) -> int:
         """Frames enqueued but not yet flushed (all destinations)."""
-        return sum(len(frames) for frames in self._pending.values())
+        return sum(len(items) for items in self._pending.values())

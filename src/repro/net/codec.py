@@ -40,10 +40,15 @@ import zlib
 from typing import Any, Iterable
 
 from repro.obs import get_registry
+from repro.obs.dtrace import TraceContext
 
 #: Transport-level batch kind (a coalesced run of small messages).
 #: Unwrapped by the network layer; no node ever receives one.
 BATCH = "batch"
+
+#: First byte of a trace-context trailer. Anything after a complete
+#: message body must be a well-formed trailer or the frame is malformed.
+TRACE_TRAILER_MAGIC = 0xD7
 
 # ----- value tags -----------------------------------------------------------------
 
@@ -140,9 +145,13 @@ class Frame:
     reliable layer verifies integrity by checking that a delivered
     message still carries this exact object (retransmissions do; a
     chaos-corrupted frame does not), with zero re-encoding.
+
+    ``trace`` mirrors the frame's trace-context trailer (empty for
+    unstamped frames); ``_stamps`` caches stamped variants so one cached
+    body fans out under one context with a single trailer encode.
     """
 
-    __slots__ = ("kind", "payload", "data", "checksum", "_uses")
+    __slots__ = ("kind", "payload", "data", "checksum", "_uses", "trace", "_stamps")
 
     def __init__(self, kind: str, payload: Any, data: bytes) -> None:
         self.kind = kind
@@ -150,6 +159,8 @@ class Frame:
         self.data = data
         self.checksum = zlib.crc32(data)
         self._uses = 0  # transmissions + embeddings; >1 means bytes reused
+        self.trace: tuple[TraceContext, ...] = ()
+        self._stamps: dict[tuple[TraceContext, ...], "Frame"] | None = None
 
     @property
     def size_bytes(self) -> int:
@@ -194,6 +205,18 @@ def mark_reuse(frame: Frame) -> None:
         _, _, saved, bytes_saved = _metrics()
         saved.inc()
         bytes_saved.inc(frame.size_bytes)
+
+
+_stamp_cache: tuple[Any, Any] | None = None
+
+
+def _stamp_counter() -> Any:
+    """``codec.trace_stamps`` against the current registry (cached)."""
+    global _stamp_cache
+    registry = get_registry()
+    if _stamp_cache is None or _stamp_cache[0] is not registry:
+        _stamp_cache = (registry, registry.counter("codec.trace_stamps"))
+    return _stamp_cache[1]
 
 
 # ----- value encoding -------------------------------------------------------------
@@ -343,6 +366,77 @@ def _read_value(data: bytes, pos: int, interner: StringInterner) -> tuple[Any, i
     raise CodecError(f"unknown value tag {tag}")
 
 
+# ----- trace-context trailers -----------------------------------------------------
+
+def encode_trace_trailer(contexts: tuple[TraceContext, ...]) -> bytes:
+    """Encode contexts as one trailer: magic, count, then per context
+    varints of (trace id, parent span id, hop count, sent-at µs)."""
+    out = bytearray((TRACE_TRAILER_MAGIC,))
+    _write_varint(out, len(contexts))
+    for ctx in contexts:
+        _write_varint(out, ctx.trace_id)
+        _write_varint(out, ctx.span_id)
+        _write_varint(out, ctx.hop)
+        _write_varint(out, ctx.sent_at_us)
+    return bytes(out)
+
+
+def read_trace_trailers(
+    data: bytes, pos: int
+) -> tuple[tuple[TraceContext, ...], int]:
+    """Parse consecutive trailers from *pos* to the end of *data*.
+
+    Re-stamping appends a fresh trailer rather than rewriting bytes (the
+    wire keeps its hop-by-hop provenance), so a frame may carry several;
+    the **last** trailer is the current context set. Anything that is
+    not a well-formed trailer raises :class:`CodecError`.
+    """
+    contexts: tuple[TraceContext, ...] = ()
+    while pos < len(data):
+        if data[pos] != TRACE_TRAILER_MAGIC:
+            raise CodecError(f"{len(data) - pos} trailing bytes after message")
+        pos += 1
+        count, pos = _read_varint(data, pos)
+        parsed = []
+        for _ in range(count):
+            trace_id, pos = _read_varint(data, pos)
+            span_id, pos = _read_varint(data, pos)
+            hop, pos = _read_varint(data, pos)
+            sent_at_us, pos = _read_varint(data, pos)
+            parsed.append(TraceContext(trace_id, span_id, hop, sent_at_us))
+        contexts = tuple(parsed)
+    return contexts, pos
+
+
+def stamp_frame(frame: Frame, contexts: tuple[TraceContext, ...]) -> Frame:
+    """Stamp trace *contexts* onto *frame* — zero body re-encodes.
+
+    Returns a new :class:`Frame` sharing the original body bytes with a
+    trailer appended; the checksum extends incrementally and ``payload``
+    keeps its identity, so the reliable layer's integrity check is
+    unaffected. Stamping an already-stamped frame appends a second
+    trailer (last wins on decode). Variants are cached per context set
+    on the source frame, so a fan-out reuses one stamped encoding.
+    """
+    cache = frame._stamps
+    if cache is None:
+        cache = frame._stamps = {}
+    stamped = cache.get(contexts)
+    if stamped is None:
+        trailer = encode_trace_trailer(contexts)
+        stamped = Frame.__new__(Frame)
+        stamped.kind = frame.kind
+        stamped.payload = frame.payload
+        stamped.data = frame.data + trailer
+        stamped.checksum = zlib.crc32(trailer, frame.checksum)
+        stamped._uses = 0
+        stamped.trace = contexts
+        stamped._stamps = None
+        cache[contexts] = stamped
+        _stamp_counter().inc()
+    return stamped
+
+
 # ----- frames ---------------------------------------------------------------------
 
 def encode_message(kind: str, payload: Any, interner: StringInterner | None = None) -> Frame:
@@ -367,13 +461,26 @@ def encode_message(kind: str, payload: Any, interner: StringInterner | None = No
 def decode_message(
     data: bytes, interner: StringInterner | None = None
 ) -> tuple[str, Any]:
-    """Decode a frame produced by :func:`encode_message`."""
+    """Decode a frame produced by :func:`encode_message`.
+
+    A trace-context trailer after the body is validated and skipped;
+    use :func:`decode_message_traced` to read it.
+    """
+    kind, payload, _ = decode_message_traced(data, interner)
+    return kind, payload
+
+
+def decode_message_traced(
+    data: bytes, interner: StringInterner | None = None
+) -> tuple[str, Any, tuple[TraceContext, ...]]:
+    """Decode a message plus its (possibly empty) trace contexts."""
     table = interner if interner is not None else StringInterner()
     kind, pos = _read_value(data, 0, table)
     payload, pos = _read_value(data, pos, table)
+    contexts: tuple[TraceContext, ...] = ()
     if pos != len(data):
-        raise CodecError(f"{len(data) - pos} trailing bytes after message")
-    return kind, payload
+        contexts, pos = read_trace_trailers(data, pos)
+    return kind, payload, contexts
 
 
 def encode_envelope(
@@ -414,14 +521,33 @@ def decode_envelope(
     the connection the inner frame was originally encoded on, distinct
     from the envelope's own channel table.
     """
+    kind, header, inner, _ = decode_envelope_traced(data, interner, inner_interner)
+    return kind, header, inner
+
+
+def decode_envelope_traced(
+    data: bytes,
+    interner: StringInterner | None = None,
+    inner_interner: StringInterner | None = None,
+) -> tuple[str, dict[str, Any], tuple[str, Any], tuple[TraceContext, ...]]:
+    """Decode an envelope plus the envelope's own trace contexts.
+
+    The embedded frame keeps its own trailer (if any) inside the
+    length-prefixed bytes; a trailer *after* them belongs to the
+    envelope hop.
+    """
     table = interner if interner is not None else StringInterner()
     kind, pos = _read_value(data, 0, table)
     header, pos = _read_value(data, pos, table)
     length, pos = _read_varint(data, pos)
-    if pos + length != len(data):
+    end = pos + length
+    if end > len(data):
         raise CodecError("envelope inner-frame length mismatch")
-    inner = decode_message(data[pos:], inner_interner)
-    return kind, header, inner
+    inner = decode_message(data[pos:end], inner_interner)
+    contexts: tuple[TraceContext, ...] = ()
+    if end != len(data):
+        contexts, _ = read_trace_trailers(data, end)
+    return kind, header, inner, contexts
 
 
 def encode_batch(frames: Iterable[Frame], payload: Any) -> Frame:
@@ -452,6 +578,19 @@ def decode_batch(
     data: bytes, inner_interner: StringInterner | None = None
 ) -> list[tuple[str, Any]]:
     """Decode a ``BATCH`` frame into its ``(kind, payload)`` entries."""
+    entries, _ = decode_batch_traced(data, inner_interner)
+    return entries
+
+
+def decode_batch_traced(
+    data: bytes, inner_interner: StringInterner | None = None
+) -> tuple[list[tuple[str, Any]], tuple[TraceContext, ...]]:
+    """Decode a batch plus its member trace contexts (span links).
+
+    A traced batch carries exactly one context per coalesced member, in
+    entry order (:data:`repro.obs.dtrace.NULL_CONTEXT` for untraced
+    members), linking each member's span chain through the shared frame.
+    """
     table = StringInterner()
     kind, pos = _read_value(data, 0, table)
     if kind != BATCH:
@@ -464,9 +603,10 @@ def decode_batch(
             raise CodecError("truncated batch entry")
         entries.append(decode_message(data[pos : pos + length], inner_interner))
         pos += length
+    contexts: tuple[TraceContext, ...] = ()
     if pos != len(data):
-        raise CodecError(f"{len(data) - pos} trailing bytes after batch")
-    return entries
+        contexts, _ = read_trace_trailers(data, pos)
+    return entries, contexts
 
 
 # ----- stateless measurement (no metrics, no shared tables) -----------------------

@@ -20,6 +20,13 @@ from repro.net.message import Message
 from repro.net.reliable import NET_ACK, ReliableTransport, RetryPolicy
 from repro.net.simclock import SimClock
 from repro.obs import LATENCY_BUCKETS, get_event_log, get_registry
+from repro.obs.dtrace import (
+    HOP_DOWNLINK,
+    HOP_GATEWAY_ROUTE,
+    HOP_REPLICATE,
+    HOP_UPLINK,
+    get_dtrace,
+)
 
 
 #: Kinds carried on the links' priority lane (no FIFO queueing): tiny
@@ -79,6 +86,7 @@ class SimulatedNetwork:
         self.stats = NetworkStats()
         self._obs = get_registry()
         self._events = get_event_log()
+        self._dtrace = get_dtrace()
         self._m_drops = self._obs.counter("net.drops")
         self._m_batch_unpacked = self._obs.counter("net.batch_unpacked")
         self._m_messages = self._obs.counter("net.messages")
@@ -305,30 +313,75 @@ class SimulatedNetwork:
                 return
         self._hand_off(message)
 
+    def _hop_name(self, sender: str, recipient: str) -> str:
+        """Delivery-tracing name of the sender→recipient wire leg."""
+        hub = self._hub_id
+        if recipient == hub:
+            return HOP_GATEWAY_ROUTE if sender in self._backbone else HOP_UPLINK
+        if sender == hub:
+            return HOP_GATEWAY_ROUTE if recipient in self._backbone else HOP_DOWNLINK
+        return HOP_REPLICATE
+
     def _hand_off(self, message: Message) -> None:
         """Final step: hand a (deduped, ordered) frame to its node.
 
         ``BATCH`` frames (see :mod:`repro.net.batch`) are unwrapped here:
         the node receives the coalesced messages individually, in order,
         and never sees the transport-level envelope.
+
+        This is also where delivery tracing records wire-hop spans: a
+        stamped frame's latest context carries its send time, so the hop
+        latency is measured at the single deduped/ordered choke point,
+        and the advanced context is scoped over ``receive`` so the node
+        can continue the chain on its own outbound sends. Batch frames
+        carry one context per coalesced member, in entry order.
         """
         target = self._nodes.get(message.recipient)
         if target is None:
             self._drop(message)
             return
+        frame = message.frame
+        contexts = frame.trace if frame is not None else ()
+        dtrace = self._dtrace
+        traced = dtrace.enabled and bool(contexts)
         if message.kind == BATCH:
-            self._m_batch_unpacked.inc(len(message.payload or []))
-            for entry in message.payload or []:
-                target.receive(
-                    Message(
-                        sender=message.sender,
-                        recipient=message.recipient,
-                        kind=entry["kind"],
-                        payload=entry["payload"],
-                        size_bytes=entry.get("size", 0),
-                    )
+            entries = message.payload or []
+            self._m_batch_unpacked.inc(len(entries))
+            hop = self._hop_name(message.sender, message.recipient) if traced else ""
+            now = self.clock.now
+            for index, entry in enumerate(entries):
+                sub_message = Message(
+                    sender=message.sender,
+                    recipient=message.recipient,
+                    kind=entry["kind"],
+                    payload=entry["payload"],
+                    size_bytes=entry.get("size", 0),
                 )
+                ctx = contexts[index] if traced and index < len(contexts) else None
+                if ctx is not None and ctx.trace_id:
+                    ctx = dtrace.record_hop(
+                        ctx, hop, message.recipient, ctx.sent_at_s, now,
+                        kind=entry["kind"],
+                    )
+                    with dtrace.inbound(ctx):
+                        target.receive(sub_message)
+                else:
+                    target.receive(sub_message)
             return
+        if traced:
+            ctx = contexts[-1]
+            if ctx.trace_id:
+                ctx = dtrace.record_hop(
+                    ctx,
+                    self._hop_name(message.sender, message.recipient),
+                    message.recipient,
+                    ctx.sent_at_s,
+                    self.clock.now,
+                    kind=message.kind,
+                )
+                with dtrace.inbound(ctx):
+                    target.receive(message)
+                return
         target.receive(message)
 
     def _drop(self, message: Message) -> None:

@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Any
 from repro.errors import DeliveryFailed
 from repro.net.codec import checksum_of
 from repro.obs import get_event_log, get_registry
+from repro.obs.dtrace import HOP_RETRANSMIT, get_dtrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.net.message import Message
@@ -99,6 +100,7 @@ class _Outstanding:
     message: "Message"
     attempts: int = 1  # transmissions so far
     acked: bool = False
+    last_sent: float = 0.0  # sim time of the latest transmission
 
 
 @dataclass
@@ -120,6 +122,7 @@ class ReliableTransport:
         self._recv: dict[tuple[str, str], _ReceiveState] = {}
         registry = get_registry()
         self._events = get_event_log()
+        self._dtrace = get_dtrace()
         self._f_retries = registry.counter_family("net.retries", ("kind",))
         self._f_dup_dropped = registry.counter_family("net.dup_dropped", ("kind",))
         self._m_corrupt = registry.counter("net.corrupt_dropped")
@@ -149,7 +152,9 @@ class ReliableTransport:
         self._next_seq[stream] = seq + 1
         framed = replace(message, seq=seq, checksum=checksum)
         key = (framed.sender, framed.recipient, seq)
-        self._outstanding[key] = _Outstanding(message=framed)
+        self._outstanding[key] = _Outstanding(
+            message=framed, last_sent=self._network.clock.now
+        )
         self._arm_timer(key, attempt=0)
         return framed
 
@@ -198,17 +203,32 @@ class ReliableTransport:
             self._fail(key, out, reason="retry_budget_exhausted")
             return
         out.attempts += 1
+        now = self._network.clock.now
         self._f_retries.labels(message.kind).inc()
         self._events.emit(
             "net.retry",
             severity="DEBUG",
-            at=self._network.clock.now,
+            at=now,
             sender=message.sender,
             recipient=message.recipient,
             kind=message.kind,
             seq=message.seq,
             attempt=out.attempts,
         )
+        dtrace = self._dtrace
+        frame = message.frame
+        if dtrace.enabled and frame is not None and frame.trace:
+            # Each retransmission becomes a child span of the context the
+            # frame carries — a *sibling* of the wire hop it repairs, so
+            # the analyzer can carve backoff time out of that leg. The
+            # span covers the wait since the previous transmission.
+            for ctx in frame.trace:
+                if ctx.trace_id:
+                    dtrace.record_hop(
+                        ctx, HOP_RETRANSMIT, message.sender, out.last_sent, now,
+                        attempt=out.attempts - 1, kind=message.kind,
+                    )
+        out.last_sent = now
         self._network._transmit(replace(message, attempt=out.attempts - 1))
         self._arm_timer(key, attempt=out.attempts - 1)
 

@@ -51,6 +51,17 @@ from repro.obs.events import (
 )
 from repro.obs.watch import Watchdog
 from repro.obs.dashboard import render_dashboard
+from repro.obs.dtrace import (
+    DeliveryTracer,
+    NullDeliveryTracer,
+    TraceContext,
+    TraceStore,
+    analyze_delivery,
+    get_dtrace,
+    render_delivery_tree,
+    set_dtrace,
+    use_dtrace,
+)
 
 __all__ = [
     "COUNT_BUCKETS",
@@ -69,18 +80,26 @@ __all__ = [
     "SEVERITIES",
     "SIZE_BUCKETS",
     "Counter",
+    "DeliveryTracer",
     "Gauge",
     "Histogram",
+    "NullDeliveryTracer",
     "Span",
+    "TraceContext",
+    "TraceStore",
     "Tracer",
     "WARN",
     "Watchdog",
+    "analyze_delivery",
     "diff",
+    "get_dtrace",
     "get_event_log",
     "get_registry",
     "get_watchdog",
     "render_dashboard",
+    "render_delivery_tree",
     "render_span_tree",
+    "set_dtrace",
     "set_event_log",
     "set_registry",
     "set_watchdog",
@@ -91,6 +110,7 @@ __all__ = [
     "to_json",
     "to_lines",
     "trace",
+    "use_dtrace",
     "use_event_log",
     "use_registry",
     "use_watchdog",

@@ -25,7 +25,23 @@ import json
 import re
 from typing import Any
 
+from repro.obs.metrics import quantile_from_buckets
+
 Snapshot = dict[str, Any]
+
+
+def summary_quantile(summary: dict[str, Any], q: float) -> float | None:
+    """Interpolated quantile recovered from a ``Histogram.summary()`` dict."""
+    if not summary:
+        return None
+    return quantile_from_buckets(
+        summary.get("bounds", ()),
+        summary.get("bucket_counts", ()),
+        summary.get("count", 0),
+        summary.get("min"),
+        summary.get("max"),
+        q,
+    )
 
 
 def to_json(snapshot: Snapshot, indent: int | None = 2) -> str:
@@ -45,10 +61,13 @@ def to_lines(snapshot: Snapshot) -> str:
             lines.append(f"histogram {name} count=0")
             continue
         mean = summary["mean"]
+        q50 = summary_quantile(summary, 0.50)
+        q99 = summary_quantile(summary, 0.99)
         lines.append(
             f"histogram {name} count={summary['count']} total={summary['total']:.9g} "
             f"mean={mean:.9g} min={summary['min']:.9g} max={summary['max']:.9g} "
-            f"p50={summary['p50']:.9g} p90={summary['p90']:.9g} p99={summary['p99']:.9g}"
+            f"p50={summary['p50']:.9g} p90={summary['p90']:.9g} p99={summary['p99']:.9g} "
+            f"q50={q50:.9g} q99={q99:.9g}"
         )
     for name, value in sorted(snapshot.get("gauges_absent", {}).items()):
         lines.append(f"gauge {name} absent last={value}")
@@ -200,6 +219,18 @@ def to_exposition(snapshot: Snapshot) -> str:
         )
         lines.append(_series(f"{metric}_sum", labels, total))
         lines.append(_series(f"{metric}_count", labels, count))
+        # Summary-style interpolated quantiles alongside the buckets, so
+        # p50/p99 are readable without a PromQL histogram_quantile().
+        if count:
+            for q, label in ((0.5, "0.5"), (0.99, "0.99")):
+                estimate = summary_quantile(summary, q)
+                lines.append(
+                    _series(
+                        metric,
+                        _with_label(labels, f'quantile="{label}"'),
+                        f"{estimate:.9g}",
+                    )
+                )
         add("histogram", metric, labels, lines)
 
     output: list[str] = []

@@ -129,6 +129,24 @@ class Histogram:
                 return self.max
         return self.max  # pragma: no cover - defensive
 
+    def quantile(self, q: float) -> float | None:
+        """Linear-interpolated quantile estimate (``0 <= q <= 1``).
+
+        Unlike :meth:`percentile` (bucket upper edge, pinned by the
+        exporters), this interpolates within the bucket containing the
+        fractional rank ``q * count``: the first populated bucket's lower
+        edge clamps to the observed minimum and the overflow bucket's
+        upper edge to the observed maximum, so ``quantile(0) == min`` and
+        ``quantile(1) == max``. Returns ``None`` on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction out of range: {q!r}")
+        if self.count == 0:
+            return None
+        return quantile_from_buckets(
+            self.bounds, self.bucket_counts, self.count, self.min, self.max, q
+        )
+
     def summary(self) -> dict[str, Any]:
         """Deterministic serializable summary (used by the exporters)."""
         return {
@@ -146,6 +164,45 @@ class Histogram:
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count})"
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float],
+    bucket_counts: Sequence[int],
+    count: int,
+    minimum: float | None,
+    maximum: float | None,
+    q: float,
+) -> float | None:
+    """Interpolated quantile from serialized histogram state.
+
+    Shared by :meth:`Histogram.quantile` and the exporters, which only
+    hold the ``summary()`` dict, not the live instrument.
+    """
+    if count <= 0:
+        return None
+    target = q * count
+    cumulative = 0.0
+    for index, bucket_count in enumerate(bucket_counts):
+        if not bucket_count:
+            continue
+        if cumulative + bucket_count >= target:
+            if index == 0 or cumulative == 0.0:
+                lo = minimum if minimum is not None else 0.0
+            else:
+                lo = bounds[index - 1]
+            if index < len(bounds):
+                hi = bounds[index]
+            else:
+                hi = maximum if maximum is not None else bounds[-1]
+            if maximum is not None:
+                hi = min(hi, maximum)
+            lo = min(lo, hi)
+            within = (target - cumulative) / bucket_count
+            within = min(max(within, 0.0), 1.0)
+            return lo + (hi - lo) * within
+        cumulative += bucket_count
+    return maximum
 
 
 #: Label values a family collapses to once ``max_series`` is exceeded.

@@ -28,9 +28,10 @@ from repro.interest import (
     layers_for_level,
 )
 from repro.net.batch import Batcher
-from repro.net.codec import Frame, encode_message
+from repro.net.codec import Frame, encode_message, stamp_frame
 from repro.net.message import Message
 from repro.net.network import SimulatedNetwork
+from repro.obs.dtrace import get_dtrace
 from repro.presentation.spec import PresentationSpec, diff_presentations
 from repro.presentation.tuning import BANDWIDTH_HIGH, TUNING_VARIABLE
 from repro.server.permissions import (
@@ -88,6 +89,7 @@ class InteractionServer:
         self._registry = registry
         self._trace = obs.trace
         self._events = obs.get_event_log()
+        self._dtrace = get_dtrace()
         self._m_messages_in = registry.counter("server.messages_in")
         self._m_messages_out = registry.counter("server.messages_out")
         self._m_bytes_out = registry.counter("server.bytes_out")
@@ -168,6 +170,12 @@ class InteractionServer:
         return session
 
     def disconnect_session(self, session_id: str) -> None:
+        if session_id in self._monitors:
+            # Monitors connect through the same protocol surface; a
+            # generic disconnect must tear down their telemetry hooks,
+            # not error out on the regular session table.
+            self.disconnect_monitor(session_id)
+            return
         session = self._session(session_id)
         # Persist the viewer profile before leaving: room exit may close
         # the room and fire observers that expect the profile on disk.
@@ -177,6 +185,7 @@ class InteractionServer:
             self.leave_room(session_id)
         del self._sessions[session_id]
         self._g_sessions.set(len(self._sessions))
+        self._dtrace.drop_session(session.node_id)
 
     def _session(self, session_id: str) -> Session:
         try:
@@ -309,6 +318,10 @@ class InteractionServer:
             del self._rooms[room.room_id]
             del self._rooms_by_doc[room.document.doc_id]
             self._g_rooms.set(len(self._rooms))
+            # The room's labelled series die with it: a closed room must
+            # leave no live gauge child and no trace-store residue.
+            self._g_interest_subs.remove(room.room_id)
+            self._dtrace.drop_room(room.room_id)
             self._emit(
                 "server.room_closed", room=room.room_id, doc=room.document.doc_id
             )
@@ -779,6 +792,13 @@ class InteractionServer:
             frame = encode_message(kind, body)
         if size_bytes is None:
             size_bytes = frame.size_bytes
+        ctx = self._dtrace.current()
+        if ctx is not None:
+            # Chain the outbound frame to the op being served; declared
+            # (media) sizes grow by the same trailer the wire carries.
+            before = frame.size_bytes
+            frame = stamp_frame(frame, (ctx,))
+            size_bytes += frame.size_bytes - before
         self._m_messages_out.inc()
         self._m_bytes_out.inc(size_bytes)
         self._batcher.send(

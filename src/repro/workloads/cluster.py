@@ -30,6 +30,7 @@ def run_cluster_conference(
     components_per_section: int = 3,
     seed: int = 0,
     harness: ClusterHarness | None = None,
+    batch_window_s: float = 0.0,
 ) -> dict[str, Any]:
     """Run *num_rooms* concurrent consultations through a cluster.
 
@@ -57,7 +58,8 @@ def run_cluster_conference(
         store.store_document(record)
     if harness is None:
         harness = ClusterHarness(
-            store, num_shards=num_shards, service_rate=service_rate
+            store, num_shards=num_shards, service_rate=service_rate,
+            batch_window_s=batch_window_s,
         )
     clients: dict[str, list[Any]] = {}
     for index, doc_id in enumerate(docs):

@@ -46,6 +46,25 @@ def test_subscription_churn_still_converges(tmp_path):
     assert entry["failovers"] == 1
 
 
+def test_traced_chaos_run_converges_to_untraced_control(tmp_path):
+    """Trace trailers must be invisible to the data plane.
+
+    The seeded chaos run traces every delivery (stamped frames, spans,
+    histograms) while the control stays untraced: byte-identical final
+    displays prove tracing changes no decode result, no ordering and no
+    retry outcome — it only appends validated trailers the receivers
+    skip.
+    """
+    report = run_convergence(str(tmp_path), seeds=(2,), quick=True, tracing=True)
+    assert report["ok"], report
+    entry = report["seeds"][2]
+    assert entry["converged"]
+    assert entry["errors"] == []
+    assert entry["delivery_failures"] == []
+    assert sum(entry["injected"].values()) > 0
+    assert entry["retries"] > 0
+
+
 def test_cli_reports_success(tmp_path, capsys):
     status = main(["--seeds", "3", "--quick", "--root", str(tmp_path)])
     out = capsys.readouterr().out
