@@ -82,6 +82,7 @@ def run_convergence(
     partition: bool = True,
     interest_churn: bool = False,
     tracing: bool = False,
+    gateway_crash: bool = False,
 ) -> dict[str, Any]:
     """Control + one chaos run per seed; report agreement.
 
@@ -97,12 +98,17 @@ def run_convergence(
     ``tracing`` turns full-sampling delivery tracing on for the seeded
     chaos runs only — the control stays untraced, so convergence then
     also proves trace trailers are invisible to the data plane.
+    ``gateway_crash`` routes the whole scenario through the sharded
+    gateway tier and fail-stops one gateway mid-conference — in both
+    the control and the seeded runs, so the replay/op_seq machinery must
+    reconverge byte-identically under faults too.
     """
     events_per_room = 3 if quick else 6
     kwargs = dict(
         events_per_room=events_per_room,
         crash_owner_of="case-0" if crash else None,
         interest_churn=interest_churn,
+        gateway_crash=gateway_crash,
     )
     control = _one_run(root, "control", None, quick, **kwargs)
     report: dict[str, Any] = {
@@ -143,7 +149,12 @@ def run_convergence(
             "injected": result["injected"],
             "retries": retries,
             "failovers": len(result["failovers"]),
+            "gateway_failovers": len(result.get("gateway_failovers", [])),
+            "expected_delivery_failures": len(
+                result.get("expected_delivery_failures", [])
+            ),
             "victim": result["victim"],
+            "gateway_victim": result.get("gateway_victim"),
             "sim_seconds": result["sim_seconds"],
         }
     report["ok"] = ok
@@ -168,6 +179,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="trace the chaos runs at full sampling (control stays untraced)",
     )
+    parser.add_argument(
+        "--gateway-crash",
+        action="store_true",
+        help="run through the gateway tier and kill one gateway mid-conference",
+    )
     parser.add_argument("--root", default=None, help="scratch dir (default: mkdtemp)")
     args = parser.parse_args(argv)
     root = args.root
@@ -183,12 +199,14 @@ def main(argv: list[str] | None = None) -> int:
         partition=not args.no_partition,
         interest_churn=args.interest_churn,
         tracing=args.tracing,
+        gateway_crash=args.gateway_crash,
     )
     for seed, entry in report["seeds"].items():
         status = "ok" if entry["ok"] else "DIVERGED"
         print(
             f"seed {seed}: {status}  injected={sum(entry['injected'].values())} "
             f"retries={entry['retries']} failovers={entry['failovers']} "
+            f"gateway_failovers={entry['gateway_failovers']} "
             f"errors={len(entry['errors'])} "
             f"delivery_failures={len(entry['delivery_failures'])}"
         )

@@ -28,6 +28,26 @@ from repro.server.protocol import MessageKind
 
 DEFAULT_BUFFER_BYTES = 64 * 1024 * 1024
 
+#: Mutating session ops that a gateway-tier client stamps with an op_seq
+#: and keeps in its replay log: after a gateway failover these re-send
+#: through the new home (at-least-once; the shard's per-session dedup
+#: fence makes the replay exactly-once). JOIN is excluded — a join is a
+#: new logical connection, not an op on an existing session — and reads
+#: (FETCH_PAYLOAD, MONITOR) are excluded because replaying them changes
+#: no room state.
+_PARKED_KINDS = frozenset(
+    {
+        MessageKind.LEAVE,
+        MessageKind.CHOICE,
+        MessageKind.OPERATION,
+        MessageKind.ANNOTATE,
+        MessageKind.FREEZE,
+        MessageKind.RELEASE,
+        MessageKind.SUBSCRIBE,
+        MessageKind.UNSUBSCRIBE,
+    }
+)
+
 
 class ClientModule:
     """One user's client, attachable to the simulated network."""
@@ -39,6 +59,7 @@ class ClientModule:
         buffer_bytes: int = DEFAULT_BUFFER_BYTES,
         auto_fetch: bool = True,
         degrade_on_loss: bool = True,
+        park_ops: bool = False,
     ) -> None:
         self.viewer_id = viewer_id
         self.node_id = f"client-{viewer_id}"
@@ -78,6 +99,15 @@ class ClientModule:
         # non-vocabulary strings — session ids, component paths — shrink
         # to 2-byte references after their first frame.
         self._wire_table = StringInterner()
+        # Gateway-tier resilience (off by default so single-hub byte
+        # accounting is untouched): mutating ops are sequence-stamped and
+        # logged for replay through a surviving gateway after failover.
+        self._park_ops = park_ops
+        self._op_seq = 0
+        self._op_log: list[tuple[str, dict[str, Any]]] = []
+        self._offline: list[tuple[str, dict[str, Any]]] = []
+        #: completed gateway failovers seen by this client, in order.
+        self.gateway_failovers: list[dict[str, Any]] = []
         self.updates_received = 0
         self.join_time: float | None = None
         self.join_latency: float | None = None
@@ -182,6 +212,24 @@ class ClientModule:
     def _send(self, kind: str, payload: dict[str, Any]) -> None:
         if self.network is None:
             raise ClientError("client is not attached to a network")
+        if self._park_ops:
+            if kind in _PARKED_KINDS:
+                self._op_seq += 1
+                payload = dict(payload)
+                payload["op_seq"] = self._op_seq
+                self._op_log.append((kind, payload))
+            hub = self.network.hub_for(self.node_id)
+            if not self.network.has_node(hub):
+                # Our home gateway is dead and the directory has not
+                # re-homed us yet. Mutating ops are already in the replay
+                # log; everything else queues for the post-failover flush.
+                if kind not in _PARKED_KINDS:
+                    self._offline.append((kind, payload))
+                return
+        self._dispatch(kind, payload)
+
+    def _dispatch(self, kind: str, payload: dict[str, Any]) -> None:
+        """Encode and put one request on the wire to our current home."""
         frame = encode_message(kind, payload, interner=self._wire_table)
         dtrace = self._dtrace
         if dtrace.enabled and kind in TRACED_CLIENT_KINDS:
@@ -193,7 +241,11 @@ class ClientModule:
             if ctx is not None:
                 frame = stamp_frame(frame, (ctx,))
         self.network.send(
-            self.node_id, self.network.hub_id, kind, payload=payload, frame=frame
+            self.node_id,
+            self.network.hub_for(self.node_id),
+            kind,
+            payload=payload,
+            frame=frame,
         )
 
     def _now(self) -> float:
@@ -304,6 +356,28 @@ class ClientModule:
             if self.render.value_of(component) == value:
                 self.render.mark_payload_ready(component)
 
+    # ----- gateway failover ---------------------------------------------------------------
+
+    def on_gateway_failover(self, new_gateway: str) -> None:
+        """Directory callback: our gateway died; re-attach via *new_gateway*.
+
+        The network has already re-homed our links when this fires. A
+        fresh logical connection means a fresh dynamic string table;
+        then the full since-join op log replays through the new home in
+        original order (at-least-once — the shard's per-session op_seq
+        fence dedups whatever did land the first time), and any requests
+        queued while we were detached flush after it.
+        """
+        self._wire_table.reset()
+        self.gateway_failovers.append(
+            {"gateway": new_gateway, "at": self._now(), "replayed": len(self._op_log)}
+        )
+        for kind, payload in list(self._op_log):
+            self._dispatch(kind, payload)
+        offline, self._offline = self._offline, []
+        for kind, payload in offline:
+            self._dispatch(kind, payload)
+
     # ----- graceful degradation ----------------------------------------------------------
 
     def on_delivery_failed(self, error: Any) -> None:
@@ -314,7 +388,26 @@ class ClientModule:
         its personal ``tuning.bandwidth`` choice down one level so the
         preference model stops selecting presentations the link cannot
         carry. Everything else is recorded for the caller to inspect.
+
+        Under the gateway tier, failures that are artifacts of a gateway
+        crash are healed instead of recorded: they are topology events,
+        not link-quality signals, so they must not trigger §4.4 tuning.
         """
+        if self._park_ops and self.network is not None:
+            hub = self.network.hub_for(self.node_id)
+            if error.recipient != hub and self.network.has_node(hub):
+                # Frame addressed to our *previous* home gave up after we
+                # were re-homed. The failover replay already covers the
+                # mutating backlog; only non-replayed requests re-issue.
+                if error.kind not in _PARKED_KINDS:
+                    self._dispatch(error.kind, dict(error.payload or {}))
+                return
+            if error.recipient == hub and not self.network.has_node(hub):
+                # Our home is dead but not yet swept: the failover replay
+                # will cover mutating ops; park the rest for the flush.
+                if error.kind not in _PARKED_KINDS:
+                    self._offline.append((error.kind, dict(error.payload or {})))
+                return
         self.delivery_failures.append(
             {
                 "kind": error.kind,

@@ -102,8 +102,18 @@ class TelemetryMonitor:
             raise ClientError("monitor is not attached to a network")
         frame = encode_message(kind, payload, interner=self._wire_table)
         self.network.send(
-            self.node_id, self.network.hub_id, kind, payload=payload, frame=frame
+            self.node_id,
+            self.network.hub_for(self.node_id),
+            kind,
+            payload=payload,
+            frame=frame,
         )
+
+    def on_gateway_failover(self, new_gateway: str) -> None:
+        """Directory callback: our gateway died along with our monitor
+        session — open a fresh one on the surviving gateway."""
+        self.session_id = None
+        self.connect()
 
     # ----- responses ------------------------------------------------------------------
 

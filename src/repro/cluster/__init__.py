@@ -17,6 +17,12 @@ clients and the rooms/DB without changing the client protocol:
   acked sequence numbers; replicas replay ops into shadow servers;
 * :mod:`repro.cluster.failover` — simclock-driven heartbeats and the
   failure detector that triggers deterministic promotion;
+* :mod:`repro.cluster.gatewaytier` — the sharded gateway tier: N
+  :class:`GatewayNode` access points with per-client homing and route
+  caches, plus the :class:`GatewayDirectory` control plane that assigns
+  clients to gateways and fails them over when a gateway dies;
+* :mod:`repro.cluster.config` — :class:`ClusterConfig`, the named
+  topology configuration all of the above is built from;
 * :mod:`repro.cluster.harness` — one-call wiring of a whole cluster.
 
 Everything runs on the existing ``repro.net`` simulated network and the
@@ -24,17 +30,22 @@ shared :class:`~repro.net.simclock.SimClock`, so cluster behaviour —
 including failover — is deterministic and byte-accounted.
 """
 
+from repro.cluster.config import ClusterConfig
 from repro.cluster.failover import FailureDetector, schedule_periodic
 from repro.cluster.gateway import Gateway
+from repro.cluster.gatewaytier import GatewayDirectory, GatewayNode
 from repro.cluster.harness import ClusterHarness
 from repro.cluster.replication import LogEntry, ReplicaState, ShipLog
 from repro.cluster.ring import HashRing, ring_hash
 from repro.cluster.shard import ServiceQueue, ShardServer
 
 __all__ = [
+    "ClusterConfig",
     "ClusterHarness",
     "FailureDetector",
     "Gateway",
+    "GatewayDirectory",
+    "GatewayNode",
     "HashRing",
     "LogEntry",
     "ReplicaState",

@@ -1,0 +1,57 @@
+"""Named cluster topology configuration.
+
+One frozen dataclass carries every knob that shapes a cluster —
+shard count, gateway-tier width, service and routing capacity, the
+batching window — so :class:`~repro.cluster.harness.ClusterHarness` and
+:func:`~repro.workloads.cluster.run_cluster_conference` stop growing
+positional parameters. ``gateways=0`` keeps the original single-hub
+:class:`~repro.cluster.gateway.Gateway` topology byte for byte;
+``gateways >= 1`` builds the sharded gateway tier of
+:mod:`repro.cluster.gatewaytier` (a directory plus N gateway nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Topology + capacity knobs for one simulated cluster."""
+
+    #: Shard servers behind the gateway (or gateway tier).
+    shards: int = 2
+    #: Gateway nodes. 0 = the legacy single hub; >= 1 = the gateway tier
+    #: with a directory, per-client homing and gateway failover.
+    gateways: int = 0
+    #: Propagation batching window on the shards (0 = send immediately).
+    batch_window_s: float = 0.0
+    #: Shard serial service capacity in ops/second (None = infinite).
+    service_rate: float | None = None
+    #: Gateway routing capacity in envelopes/second (None = infinite).
+    #: Only meaningful with ``gateways >= 1``; this is the knob that
+    #: makes gateway scale-out measurable in benchmark E16.
+    route_rate: float | None = None
+    #: Ring replication factor for room op logs.
+    replication_factor: int = 2
+    #: Heartbeat silence before a shard or gateway is declared dead.
+    failure_timeout: float = 2.0
+    #: Virtual nodes per ring member (shard ring and gateway ring).
+    vnodes: int = 64
+    #: Interest management mode ("off" or "cpnet").
+    interest_mode: str = "off"
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ClusterError(f"a cluster needs >= 1 shard, got {self.shards}")
+        if self.gateways < 0:
+            raise ClusterError(f"gateways must be >= 0, got {self.gateways}")
+        if self.route_rate is not None and self.route_rate <= 0:
+            raise ClusterError(f"route_rate must be > 0, got {self.route_rate}")
+
+    @property
+    def tiered(self) -> bool:
+        """True when the gateway tier (directory + N gateways) is on."""
+        return self.gateways > 0

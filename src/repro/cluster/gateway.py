@@ -87,6 +87,11 @@ class Gateway:
         self._telemetry_baseline: dict[str, Any] | None = None
         self._last_telemetry_at: float | None = None
         self.telemetry_interval: float = 0.0
+        self._attach_to_network(network)
+
+    def _attach_to_network(self, network: SimulatedNetwork) -> None:
+        """Attach as the star's single hub. The gateway tier overrides
+        this to attach as one of many backbone gateways instead."""
         network.attach_hub(self)
 
     # ----- topology ---------------------------------------------------------------
@@ -243,7 +248,11 @@ class Gateway:
                 raise ClusterError(f"unexpected message kind {kind!r} at gateway")
         except Exception as exc:
             self._m_route_errors.inc()
-            if self.network.has_node(message.sender) and message.sender not in self._shards:
+            if (
+                self.network.has_node(message.sender)
+                and message.sender not in self._shards
+                and message.sender != self.node_id
+            ):
                 body = {"error": type(exc).__name__, "detail": str(exc)}
                 self._send_framed(message.sender, MessageKind.ERROR, body)
             else:
@@ -294,10 +303,7 @@ class Gateway:
         self._m_routed_messages.inc()
         self._f_routed_bytes.labels(shard, "to_shard").inc(size)
         if kind == MessageKind.LEAVE:
-            session_id = payload.get("session_id")
-            self._session_route.pop(session_id, None)
-            self._session_key.pop(session_id, None)
-            self._g_sessions.set(len(self._session_route))
+            self._forget_route(payload.get("session_id"))
 
     def _retry_route(
         self,
@@ -411,9 +417,7 @@ class Gateway:
                 inner_frame = stamp_frame(inner_frame, advanced)
                 size += inner_frame.size_bytes - before
         if kind == MessageKind.JOIN_ACK:
-            self._session_route[inner["session_id"]] = shard_id
-            self._session_key[inner["session_id"]] = inner["doc_id"]
-            self._g_sessions.set(len(self._session_route))
+            self._learn_route(inner["session_id"], inner["doc_id"], shard_id)
         if not self.network.has_node(to):
             self._emit(
                 "gateway.client_gone", severity="WARN", node=to, kind=kind
@@ -424,6 +428,20 @@ class Gateway:
         )
         self._m_routed_messages.inc()
         self._f_routed_bytes.labels(shard_id, "to_client").inc(size)
+
+    # ----- route table ------------------------------------------------------------
+
+    def _learn_route(self, session_id: str, doc_id: str, shard_id: str) -> None:
+        """Record the session→shard route sniffed off a ``JOIN_ACK``."""
+        self._session_route[session_id] = shard_id
+        self._session_key[session_id] = doc_id
+        self._g_sessions.set(len(self._session_route))
+
+    def _forget_route(self, session_id: str | None) -> None:
+        """Drop the route of a departed session (``LEAVE`` forwarded)."""
+        self._session_route.pop(session_id, None)
+        self._session_key.pop(session_id, None)
+        self._g_sessions.set(len(self._session_route))
 
     # ----- telemetry monitors ------------------------------------------------------
 

@@ -1,23 +1,29 @@
 """Convenience wiring for a whole cluster on one simulated network.
 
 One call builds the Fig. 1 star topology with the cluster tier spliced
-in: a gateway hub, N shard servers as backbone nodes, per-client links,
-and (optionally) the heartbeat/detector schedules. Benchmarks, tests and
-examples all build clusters through this so the topology is wired one
-way everywhere.
+in: a gateway hub (or, with ``ClusterConfig(gateways >= 1)``, a gateway
+*tier* — a directory plus N gateway nodes), shard servers as backbone
+nodes, per-client links, and (optionally) the heartbeat/detector
+schedules. Benchmarks, tests and examples all build clusters through
+this so the topology is wired one way everywhere.
+
+The topology knobs live in :class:`~repro.cluster.config.ClusterConfig`;
+the legacy keyword arguments (``num_shards=...`` etc.) still work and
+build an equivalent single-gateway config under the hood.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro.cluster.config import ClusterConfig
 from repro.cluster.gateway import Gateway
+from repro.cluster.gatewaytier import GatewayDirectory, GatewayNode
 from repro.cluster.ring import HashRing
 from repro.cluster.shard import ShardServer
 from repro.client.client import ClientModule
 from repro.client.monitor import TelemetryMonitor
 from repro.db.orm import MultimediaObjectStore
-from repro.errors import ClusterError
 from repro.net.link import Link
 from repro.net.network import SimulatedNetwork
 from repro.net.simclock import SimClock
@@ -25,12 +31,14 @@ from repro.server.permissions import PermissionPolicy
 
 
 class ClusterHarness:
-    """A gateway + shard fleet + clients on one clock."""
+    """A gateway (or gateway tier) + shard fleet + clients on one clock."""
 
     def __init__(
         self,
         store: MultimediaObjectStore,
-        num_shards: int = 2,
+        config: ClusterConfig | None = None,
+        *,
+        num_shards: int | None = None,
         clock: SimClock | None = None,
         policy: PermissionPolicy | None = None,
         service_rate: float | None = None,
@@ -42,9 +50,23 @@ class ClusterHarness:
         interest_mode: str = "off",
         batch_window_s: float = 0.0,
     ) -> None:
-        if num_shards < 1:
-            raise ClusterError(f"a cluster needs >= 1 shard, got {num_shards}")
+        if isinstance(config, int):
+            # Pre-config call shape: ClusterHarness(store, 4).
+            num_shards = config
+            config = None
+        if config is None:
+            config = ClusterConfig(
+                shards=num_shards if num_shards is not None else 2,
+                service_rate=service_rate,
+                replication_factor=replication_factor,
+                failure_timeout=failure_timeout,
+                vnodes=vnodes,
+                interest_mode=interest_mode,
+                batch_window_s=batch_window_s,
+            )
+        self.config = config
         self.store = store
+        self._policy = policy
         if plan is not None:
             # Imported lazily: repro.chaos sits above repro.cluster.
             from repro.chaos.network import ChaosNetwork
@@ -52,24 +74,60 @@ class ClusterHarness:
             self.network = ChaosNetwork(clock, reliability=reliability, plan=plan)
         else:
             self.network = SimulatedNetwork(clock, reliability=reliability)
-        self.ring = HashRing(vnodes=vnodes)
-        self.gateway = Gateway(
-            self.network,
-            ring=self.ring,
-            failure_timeout=failure_timeout,
-            replication_factor=replication_factor,
-        )
-        self._policy = policy
-        self._service_rate = service_rate
-        self._replication_factor = replication_factor
-        self._interest_mode = interest_mode
-        self._batch_window_s = batch_window_s
+        self.ring = HashRing(vnodes=config.vnodes)
         self.shards: dict[str, ShardServer] = {}
         self.clients: dict[str, ClientModule] = {}
-        for index in range(num_shards):
+        self.gateways: dict[str, GatewayNode] = {}
+        if config.tiered:
+            # Order matters: the directory first (it owns the shared
+            # gauges' final word), then every gateway, then the shards —
+            # gateway ctors reset cluster-level gauges to zero, so shard
+            # registration must come after all of them exist.
+            self.gateway: Gateway | None = None
+            self.gateway_ring: HashRing | None = HashRing(vnodes=config.vnodes)
+            self.directory: GatewayDirectory | None = GatewayDirectory(
+                self.network,
+                ring=self.ring,
+                gateway_ring=self.gateway_ring,
+                failure_timeout=config.failure_timeout,
+                replication_factor=config.replication_factor,
+            )
+            for index in range(config.gateways):
+                self.add_gateway(f"gw-{index + 1}")
+        else:
+            self.directory = None
+            self.gateway_ring = None
+            self.gateway = Gateway(
+                self.network,
+                ring=self.ring,
+                failure_timeout=config.failure_timeout,
+                replication_factor=config.replication_factor,
+            )
+        for index in range(config.shards):
             self.add_shard(f"shard-{index + 1}")
 
     # ----- topology -----------------------------------------------------------------
+
+    @property
+    def control(self) -> Any:
+        """The control-plane node: the directory, or the single gateway."""
+        return self.directory if self.directory is not None else self.gateway
+
+    def add_gateway(self, gateway_id: str) -> GatewayNode:
+        """Add one gateway node to the tier (tier mode only)."""
+        gateway = GatewayNode(
+            self.network,
+            self.directory.node_id,
+            self.ring,  # the room→shard ring: JOINs route by doc id
+            gateway_id,
+            route_rate=self.config.route_rate,
+            replication_factor=self.config.replication_factor,
+        )
+        self.directory.register_gateway(gateway)
+        for shard_id in self.shards:
+            gateway.note_shard(shard_id)
+        self.gateways[gateway_id] = gateway
+        return gateway
 
     def add_shard(
         self,
@@ -81,16 +139,19 @@ class ClusterHarness:
             shard_id,
             self.store,
             self.network,
-            self.gateway.node_id,
+            self.control.node_id,
             self.ring,
             policy=self._policy,
-            service_rate=self._service_rate,
-            replication_factor=self._replication_factor,
-            interest_mode=self._interest_mode,
-            batch_window_s=self._batch_window_s,
+            service_rate=self.config.service_rate,
+            replication_factor=self.config.replication_factor,
+            interest_mode=self.config.interest_mode,
+            batch_window_s=self.config.batch_window_s,
+            gateway_ring=self.gateway_ring,
         )
         self.network.attach_backbone(shard, uplink=uplink, downlink=downlink)
-        self.gateway.register_shard(shard_id)
+        self.control.register_shard(shard_id)
+        for gateway in self.gateways.values():
+            gateway.note_shard(shard_id)
         self.shards[shard_id] = shard
         return shard
 
@@ -101,8 +162,15 @@ class ClusterHarness:
         downlink: Link | None = None,
         auto_fetch: bool = True,
     ) -> ClientModule:
-        client = ClientModule(viewer_id, network=self.network, auto_fetch=auto_fetch)
+        client = ClientModule(
+            viewer_id,
+            network=self.network,
+            auto_fetch=auto_fetch,
+            park_ops=self.config.tiered,
+        )
         self.network.attach_client(client, uplink=uplink, downlink=downlink)
+        if self.directory is not None:
+            self.directory.attach_client(client)
         self.clients[viewer_id] = client
         return client
 
@@ -114,6 +182,8 @@ class ClusterHarness:
     ) -> TelemetryMonitor:
         monitor = TelemetryMonitor(viewer_id, network=self.network)
         self.network.attach_client(monitor, uplink=uplink, downlink=downlink)
+        if self.directory is not None:
+            self.directory.attach_client(monitor)
         monitor.connect()
         return monitor
 
@@ -133,15 +203,23 @@ class ClusterHarness:
         for shard in self.shards.values():
             if shard.alive:
                 shard.start_heartbeats(heartbeat_interval, until)
-        self.gateway.start_failure_detection(sweep_interval, until)
+        for gateway in self.gateways.values():
+            if gateway.alive:
+                gateway.start_heartbeats(heartbeat_interval, until)
+        self.control.start_failure_detection(sweep_interval, until)
 
-    def crash(self, shard_id: str) -> None:
-        """Fail-stop one shard (it stops processing and heartbeating)."""
-        self.shards[shard_id].crash()
+    def crash(self, node_id: str) -> None:
+        """Fail-stop one shard or gateway (it goes silent mid-flight)."""
+        if node_id in self.shards:
+            self.shards[node_id].crash()
+        elif node_id in self.gateways:
+            self.gateways[node_id].crash()
+        else:
+            raise KeyError(f"no shard or gateway named {node_id!r}")
 
-    def schedule_crash(self, shard_id: str, at: float) -> None:
-        """Arrange for *shard_id* to fail-stop at simulated time *at*."""
-        self.clock.schedule_at(at, lambda: self.crash(shard_id))
+    def schedule_crash(self, node_id: str, at: float) -> None:
+        """Arrange for *node_id* to fail-stop at simulated time *at*."""
+        self.clock.schedule_at(at, lambda: self.crash(node_id))
 
     def run(self) -> int:
         """Drive the clock until the network is quiescent."""
@@ -153,6 +231,36 @@ class ClusterHarness:
     @property
     def clock(self) -> SimClock:
         return self.network.clock
+
+    @property
+    def failovers(self) -> list[dict[str, Any]]:
+        """Completed shard failovers, wherever the control plane lives."""
+        return self.control.failovers
+
+    @property
+    def gateway_failovers(self) -> list[dict[str, Any]]:
+        """Completed gateway failovers (always empty in legacy mode)."""
+        if self.directory is None:
+            return []
+        return self.directory.gateway_failovers
+
+    def home_of(self, viewer_id: str) -> str | None:
+        """The gateway currently homing one client (None in legacy mode)."""
+        client = self.clients[viewer_id]
+        return self.network.home_of(client.node_id)
+
+    def route_cache_stats(self) -> dict[str, Any]:
+        """Tier-wide route-cache totals across every gateway."""
+        hits = sum(g.cache_hits for g in self.gateways.values())
+        misses = sum(g.cache_misses for g in self.gateways.values())
+        invalidations = sum(g.cache_invalidations for g in self.gateways.values())
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "invalidations": invalidations,
+            "hit_rate": hits / total if total else None,
+        }
 
     def owner_of(self, doc_id: str) -> str:
         return self.ring.owner(doc_id)
@@ -166,11 +274,18 @@ class ClusterHarness:
         return shard.server
 
     def stats(self) -> dict[str, Any]:
-        return {
-            "gateway": self.gateway.stats(),
+        stats: dict[str, Any] = {
+            "gateway": self.control.stats(),
             "shards": {sid: shard.stats() for sid, shard in self.shards.items()},
             "network": {
                 "messages": self.network.stats.messages,
                 "bytes_total": self.network.stats.bytes_total,
             },
         }
+        if self.config.tiered:
+            stats["directory"] = self.directory.stats()
+            stats["gateways"] = {
+                gid: gateway.stats() for gid, gateway in self.gateways.items()
+            }
+            stats["route_cache"] = self.route_cache_stats()
+        return stats

@@ -51,6 +51,12 @@ _REPLICATED_OPS = {
     MessageKind.UNSUBSCRIBE: "unsubscribe",
 }
 
+#: backoff for client-bound envelopes whose gateway is temporarily gone
+#: (crashed but not yet swept): 0.25 * 2^attempt seconds, then give up.
+#: Six attempts span ~15.75 s — comfortably past detection + re-homing.
+CLIENTBOUND_RETRY_BASE_S = 0.25
+CLIENTBOUND_RETRY_ATTEMPTS = 6
+
 
 class ServiceQueue:
     """Serial service model: one op at a time at a fixed ops/second rate.
@@ -145,11 +151,16 @@ class ShardServer:
         replication_factor: int = 2,
         interest_mode: str = "off",
         batch_window_s: float = 0.0,
+        gateway_ring: HashRing | None = None,
     ) -> None:
         self.node_id = shard_id
         self.network = network
         self.gateway_id = gateway_id
         self.ring = ring
+        # Non-None only under the gateway tier: client-bound envelopes
+        # resolve their gateway per client through this ring; gateway_id
+        # then names the directory (heartbeats, PROMOTE acks).
+        self._gateway_ring = gateway_ring
         self.alive = True
         self.replication_factor = replication_factor
         self._store = store
@@ -171,10 +182,14 @@ class ShardServer:
         #: dies) can reconstruct the room instead of replaying from a gap.
         self._room_history: dict[str, list[tuple[str, dict[str, Any]]]] = {}
         self._replica_rooms: dict[str, set[str]] = {}  # replica -> bootstrapped keys
-        # Dynamic string table for clientbound ROUTE envelope headers on
-        # the reliable in-order shard→gateway channel (client node ids
-        # repeat on every response).
-        self._gw_table = StringInterner()
+        # Dynamic string tables for clientbound ROUTE envelope headers,
+        # one per reliable in-order shard→gateway channel (client node
+        # ids repeat on every response). Legacy mode only ever populates
+        # the single gateway_id entry.
+        self._gw_tables: dict[str, StringInterner] = {}
+        #: highest op_seq applied per session — replayed client ops after
+        #: a gateway failover dedup here (at-least-once → exactly-once).
+        self._op_seen: dict[str, int] = {}
         self._capture: list[tuple[str, Any]] | None = None
         self._failpoints = get_failpoints()
         self._dtrace = get_dtrace()
@@ -197,6 +212,7 @@ class ShardServer:
         ).labels(shard_id)
         self._m_standby_bytes = registry.counter("cluster.replica.shadow_bytes")
         self._m_promotions = registry.counter("cluster.promotions")
+        self._m_dup_ops = registry.counter("cluster.shard.dup_ops_dropped")
 
     # ----- liveness -------------------------------------------------------------
 
@@ -289,6 +305,30 @@ class ShardServer:
     def _handle_client(self, sender_node: str, kind: str, payload: dict[str, Any]) -> None:
         if not self.alive:
             return
+        session_id = payload.get("session_id")
+        op_seq = payload.get("op_seq")
+        if session_id is not None and op_seq is not None:
+            last = self._op_seen.get(session_id, 0)
+            if op_seq <= last:
+                # A gateway-failover replay re-delivered an op we already
+                # applied: drop it silently, the client's at-least-once
+                # replay is our exactly-once by this fence.
+                self._m_dup_ops.inc()
+                self._events.emit(
+                    "cluster.duplicate_op_dropped",
+                    at=self.network.clock.now,
+                    shard=self.node_id,
+                    session=session_id,
+                    kind=kind,
+                    op_seq=op_seq,
+                )
+                # The op applied the first time, but its responses may
+                # have died with the client's old gateway — answer the
+                # replay with a catch-up diff instead of silence.
+                target = self._server_for(kind, payload)
+                if target.has_session(session_id):
+                    target.resync_session(session_id)
+                return
         self._m_ops_in.inc()
         target = self._server_for(kind, payload)
         self._capture = []
@@ -303,6 +343,8 @@ class ShardServer:
             captured, self._capture = self._capture, None
         if any(k == MessageKind.ERROR for k, _ in captured):
             return
+        if session_id is not None and op_seq is not None:
+            self._op_seen[session_id] = op_seq
         self._replicate_op(sender_node, kind, payload, captured)
 
     def _server_for(self, kind: str, payload: dict[str, Any]) -> InteractionServer:
@@ -335,13 +377,41 @@ class ShardServer:
             self._capture.append((kind, payload))
         if not self.alive:
             return
+        self._send_clientbound(recipient, kind, payload, size_bytes, frame, attempt=0)
+
+    def _client_gateway(self, recipient: str) -> str:
+        """The gateway serving *recipient* (the single hub in legacy mode)."""
+        if self._gateway_ring is not None and len(self._gateway_ring):
+            return self._gateway_ring.owner(recipient)
+        return self.gateway_id
+
+    def _send_clientbound(
+        self,
+        recipient: str,
+        kind: str,
+        payload: Any,
+        size_bytes: int,
+        frame: Frame | None,
+        attempt: int,
+    ) -> None:
+        if not self.alive:
+            return
+        gateway_id = self._client_gateway(recipient)
+        if not self.network.has_node(gateway_id):
+            # The client's gateway is down but the directory has not yet
+            # re-homed its clients: park and retry with backoff — each
+            # attempt re-resolves the ring, so a completed gateway
+            # failover transparently picks the survivor.
+            self._retry_clientbound(recipient, kind, payload, size_bytes, frame, attempt)
+            return
         wrapper = clientbound_wrapper(recipient, kind, payload, size_bytes)
         if frame is None:
             frame = encode_message(kind, payload)
         # Ride the inner frame inside the envelope so the gateway can
         # forward the same encoding to the client link untouched.
         wrapper["frame"] = frame
-        envelope, wire_size = encode_clientbound(wrapper, frame, self._gw_table)
+        table = self._gw_tables.setdefault(gateway_id, StringInterner())
+        envelope, wire_size = encode_clientbound(wrapper, frame, table)
         ctx = self._dtrace.current()
         if ctx is not None:
             # Chain the backbone leg: the gateway picks the context off
@@ -350,8 +420,36 @@ class ShardServer:
             envelope = stamp_frame(envelope, (ctx,))
             wire_size += envelope.size_bytes - before
         self.network.send(
-            self.node_id, self.gateway_id, MessageKind.ROUTE,
+            self.node_id, gateway_id, MessageKind.ROUTE,
             payload=wrapper, size_bytes=wire_size, frame=envelope,
+        )
+
+    def _retry_clientbound(
+        self,
+        recipient: str,
+        kind: str,
+        payload: Any,
+        size_bytes: int,
+        frame: Frame | None,
+        attempt: int,
+    ) -> None:
+        if attempt >= CLIENTBOUND_RETRY_ATTEMPTS:
+            self._events.emit(
+                "cluster.clientbound_gave_up",
+                severity="WARN",
+                at=self.network.clock.now,
+                shard=self.node_id,
+                node=recipient,
+                kind=kind,
+                attempts=attempt,
+            )
+            return
+        delay = CLIENTBOUND_RETRY_BASE_S * (2.0**attempt)
+        self.network.clock.schedule(
+            delay,
+            lambda: self._send_clientbound(
+                recipient, kind, payload, size_bytes, frame, attempt + 1
+            ),
         )
 
     def observe_standby_send(self, kind: str, size_bytes: int) -> None:
@@ -509,7 +607,9 @@ class ShardServer:
 
         Replication repair is already failover's job (the ring re-homes
         the room and the next op bootstraps the replica from history),
-        so the shard only records the fact for the post-mortem.
+        so the shard only records the fact for the post-mortem — except
+        under the gateway tier, where a client-bound envelope that died
+        with its gateway is re-routed through the client's new home.
         """
         self._events.emit(
             "cluster.shard_delivery_failed",
@@ -520,6 +620,17 @@ class ShardServer:
             kind=error.kind,
             reason=error.reason,
         )
+        wrapper = error.payload
+        if (
+            self._gateway_ring is not None
+            and error.kind == MessageKind.ROUTE
+            and isinstance(wrapper, dict)
+            and "to" in wrapper
+        ):
+            self._send_clientbound(
+                wrapper["to"], wrapper["kind"], wrapper["payload"],
+                wrapper["size"], wrapper.get("frame"), attempt=0,
+            )
 
     # ----- failover ------------------------------------------------------------------
 
@@ -538,6 +649,14 @@ class ShardServer:
                 self._room_history.setdefault(entry.room_key, []).append(
                     (entry.op, entry.data)
                 )
+                # op_seq rides inside replicated op data, so the dedup
+                # fence survives shard failover too: a client replay
+                # racing a promotion cannot double-apply.
+                op_seq = entry.data.get("op_seq")
+                entry_session = entry.data.get("session_id")
+                if op_seq is not None and entry_session is not None:
+                    if op_seq > self._op_seen.get(entry_session, 0):
+                        self._op_seen[entry_session] = op_seq
             for session_id in server.session_ids:
                 session = server.session(session_id)
                 if session.room_id is not None:

@@ -88,6 +88,9 @@ STATIC_STRINGS: tuple[str, ...] = (
     # interest management (appended, never reordered: ids above are pinned)
     "subscribe", "unsubscribe", "subscribe_ack",
     "components", "subscribed", "replace", "all", "layers",
+    # gateway tier (appended, never reordered: ids above are pinned)
+    "route_report", "route_lookup", "route_info", "route_invalidate",
+    "gateway", "op_seq", "shard", "key", "removed",
 )
 
 _STATIC_IDS: dict[str, int] = {s: i for i, s in enumerate(STATIC_STRINGS)}

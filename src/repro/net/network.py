@@ -78,9 +78,11 @@ class SimulatedNetwork:
     ) -> None:
         self.clock = clock if clock is not None else SimClock()
         self._nodes: dict[str, Node] = {}
-        self._uplinks: dict[str, Link] = {}    # node -> hub
-        self._downlinks: dict[str, Link] = {}  # hub -> node
+        self._uplinks: dict[str, Link] = {}    # node -> its hub
+        self._downlinks: dict[str, Link] = {}  # its hub -> node
         self._hub_id: str | None = None
+        self._hubs: set[str] = set()           # nodes terminating client links
+        self._home: dict[str, str] = {}        # client -> its serving hub
         self._backbone: set[str] = set()
         self._peer_links: dict[tuple[str, str], Link] = {}  # (from, to)
         self.stats = NetworkStats()
@@ -111,7 +113,40 @@ class SimulatedNetwork:
         if self._hub_id is not None:
             raise NetworkError(f"hub already attached: {self._hub_id!r}")
         self._hub_id = node.node_id
+        self._hubs.add(node.node_id)
         self._nodes[node.node_id] = node
+
+    def attach_gateway(
+        self,
+        node: Node,
+        uplink: Link | None = None,
+        downlink: Link | None = None,
+    ) -> None:
+        """Register a gateway-tier node: a backbone peer that also
+        terminates client links for the clients homed on it.
+
+        Unlike :meth:`attach_hub` there may be many; clients name their
+        serving gateway through :meth:`assign_home`.
+        """
+        self.attach_backbone(node, uplink=uplink, downlink=downlink)
+        self._hubs.add(node.node_id)
+
+    def assign_home(self, node_id: str, hub_id: str) -> None:
+        """Home *node_id*'s links on *hub_id* (also re-homes on failover)."""
+        if hub_id not in self._hubs:
+            raise NetworkError(f"{hub_id!r} is not a hub or gateway")
+        self._home[node_id] = hub_id
+
+    def home_of(self, node_id: str) -> str | None:
+        """The hub explicitly assigned to *node_id* (None = the single hub)."""
+        return self._home.get(node_id)
+
+    def hub_for(self, node_id: str) -> str:
+        """The hub *node_id* should address: its home, else the single hub."""
+        home = self._home.get(node_id)
+        if home is not None:
+            return home
+        return self.hub_id
 
     def attach_client(
         self,
@@ -155,6 +190,11 @@ class SimulatedNetwork:
         self._uplinks.pop(node_id, None)
         self._downlinks.pop(node_id, None)
         self._backbone.discard(node_id)
+        self._hubs.discard(node_id)
+        # Home assignments pointing AT a detached gateway are kept: the
+        # directory rewrites them at failover, and until then sends to
+        # the dead gateway must fail loudly, not fall back silently.
+        self._home.pop(node_id, None)
         # Peer links registered for the node must go too — a stale
         # set_peer_link entry would otherwise survive detachment and be
         # silently reused if a node with the same id ever reattaches.
@@ -216,12 +256,26 @@ class SimulatedNetwork:
 
     # ----- transfer --------------------------------------------------------------------
 
+    def _home_hub(self, node_id: str) -> str | None:
+        """The hub whose links carry *node_id*'s traffic (None = unhomed)."""
+        home = self._home.get(node_id)
+        if home is not None:
+            return home
+        return self._hub_id
+
     def _resolve_link(self, sender: str, recipient: str) -> tuple[Link, Any]:
         """The link (and its byte counter) carrying sender→recipient."""
-        hub = self.hub_id
-        if sender == hub and recipient != hub:
+        if (
+            sender in self._hubs
+            and recipient not in self._hubs
+            and self._home_hub(recipient) == sender
+        ):
             return self.downlink(recipient), self._m_link_down[recipient]
-        if recipient == hub and sender != hub:
+        if (
+            recipient in self._hubs
+            and sender not in self._hubs
+            and self._home_hub(sender) == recipient
+        ):
             return self.uplink(sender), self._m_link_up[sender]
         if sender in self._backbone and recipient in self._backbone:
             link = self._peer_link(sender, recipient)
@@ -315,10 +369,9 @@ class SimulatedNetwork:
 
     def _hop_name(self, sender: str, recipient: str) -> str:
         """Delivery-tracing name of the sender→recipient wire leg."""
-        hub = self._hub_id
-        if recipient == hub:
+        if recipient in self._hubs:
             return HOP_GATEWAY_ROUTE if sender in self._backbone else HOP_UPLINK
-        if sender == hub:
+        if sender in self._hubs:
             return HOP_GATEWAY_ROUTE if recipient in self._backbone else HOP_DOWNLINK
         return HOP_REPLICATE
 

@@ -71,6 +71,8 @@ def context_at(trace_id: int, span_id: int, hop: int, now: float) -> TraceContex
 
 HOP_UPLINK = "uplink"
 HOP_GATEWAY_ROUTE = "gateway_route"
+HOP_GATEWAY_QUEUE = "gateway_queue"
+HOP_DIRECTORY_LOOKUP = "directory_lookup"
 HOP_SHARD_QUEUE = "shard_queue"
 HOP_REPLICATE = "replicate"
 HOP_BATCH_WAIT = "batch_wait"
@@ -80,6 +82,8 @@ HOP_DOWNLINK = "downlink"
 ALL_HOPS = (
     HOP_UPLINK,
     HOP_GATEWAY_ROUTE,
+    HOP_GATEWAY_QUEUE,
+    HOP_DIRECTORY_LOOKUP,
     HOP_SHARD_QUEUE,
     HOP_REPLICATE,
     HOP_BATCH_WAIT,
@@ -89,7 +93,11 @@ ALL_HOPS = (
 
 #: Critical-path attribution buckets. Everything not explicitly queueing,
 #: batch window or retransmit backoff is time on the (simulated) wire.
+#: A gateway's routing-capacity wait and a route-cache miss's round trip
+#: to the directory are both queueing: time spent not moving bytes.
 HOP_CATEGORY = {
+    HOP_GATEWAY_QUEUE: "queueing",
+    HOP_DIRECTORY_LOOKUP: "queueing",
     HOP_SHARD_QUEUE: "queueing",
     HOP_BATCH_WAIT: "batch_window",
     HOP_RETRANSMIT: "retransmit_backoff",

@@ -463,6 +463,40 @@ class InteractionServer:
             )
         return subscribed
 
+    def resync_session(self, session_id: str) -> dict[str, str]:
+        """Re-send current covered values this session has not yet seen.
+
+        The cluster tier calls this when it fences a duplicate op from a
+        gateway-failover replay: the op itself already applied, but its
+        responses may have died with the old gateway. Unlike a
+        SUBSCRIBE_ACK catch-up this deliberately ignores ``known_spec``
+        — "known" records what was *sent*, and what was sent may be
+        exactly what died on the crashed gateway's links. The full
+        covered outcome lands as one idempotent PRESENTATION_UPDATE.
+        """
+        session = self._session(session_id)
+        if not session.in_room:
+            return {}
+        room = self.room(session.room_id)
+        doc_id = room.document.doc_id
+        spec = room.presentation_for(session.viewer_id, now=self._now())
+        catchup = {
+            path: value
+            for path, value in spec.outcome.items()
+            if room.interest.covers(session_id, path)
+        }
+        if catchup:
+            merged = dict(session.known_spec(doc_id) or {})
+            merged.update(catchup)
+            session.remember_spec(doc_id, merged)
+            if self.network is not None:
+                self._net_send(
+                    session.node_id,
+                    MessageKind.PRESENTATION_UPDATE,
+                    {"doc_id": doc_id, "changes": catchup, "resync": True},
+                )
+        return catchup
+
     def store_document(self, session_id: str, document: MultimediaDocument) -> None:
         """Explicitly persist a document (requires modify permission)."""
         session = self._session(session_id)

@@ -53,6 +53,13 @@ class MessageKind:
     HEARTBEAT = "heartbeat"
     PROMOTE = "promote"
 
+    # gateway tier <-> directory (repro.cluster.gatewaytier): route-cache
+    # population, slow-path lookups, and failover invalidation.
+    ROUTE_REPORT = "route_report"
+    ROUTE_LOOKUP = "route_lookup"
+    ROUTE_INFO = "route_info"
+    ROUTE_INVALIDATE = "route_invalidate"
+
     CLIENT_KINDS = (
         JOIN, LEAVE, CHOICE, OPERATION, FREEZE, RELEASE, FETCH_PAYLOAD, ANNOTATE,
         MONITOR, SUBSCRIBE, UNSUBSCRIBE,
@@ -62,6 +69,7 @@ class MessageKind:
         MONITOR_ACK, TELEMETRY, TELEMETRY_EVENT, SUBSCRIBE_ACK,
     )
     CLUSTER_KINDS = (ROUTE, REPLICATE, ACK, HEARTBEAT, PROMOTE)
+    GATEWAY_KINDS = (ROUTE_REPORT, ROUTE_LOOKUP, ROUTE_INFO, ROUTE_INVALIDATE)
 
 
 def encoded_size(payload: Any) -> int:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.chaos.plan import FaultPlan
+from repro.cluster.config import ClusterConfig
 from repro.cluster.harness import ClusterHarness
 from repro.db.orm import MultimediaObjectStore
 from repro.workloads.interest import primitive_paths
@@ -36,6 +37,7 @@ from repro.workloads.sessions import consultation_events
 PHASE2_AT = 2.9
 PARTITION_START = 3.0
 PARTITION_END = 4.0
+GW_CRASH_AT = 3.5  # a gateway dies *inside* the partition window
 CRASH_AT = 6.0
 PHASE3_AT = 12.0
 HORIZON = 30.0
@@ -55,6 +57,8 @@ def run_chaos_conference(
     horizon: float = HORIZON,
     reliability: Any = True,
     interest_churn: bool = False,
+    gateway_crash: bool = False,
+    num_gateways: int = 2,
 ) -> dict[str, Any]:
     """Drive the three-phase conference; return the final client state.
 
@@ -75,6 +79,16 @@ def run_chaos_conference(
     catch-up diff (computed against what the server *actually* sent it)
     heals whatever the churn raced past, so seeded runs must still end
     byte-identical to the control.
+
+    ``gateway_crash=True`` runs the conference through the sharded
+    gateway tier (*num_gateways* gateways behind a directory) and
+    fail-stops the gateway homing room 0's writer at :data:`GW_CRASH_AT`
+    — inside the partition window when ``partition=True``. Its clients
+    re-home to a survivor and replay; the control run performs the same
+    crash (the op_seq stamps must match byte-for-byte), just without
+    network faults. Frames that die *with* the victim gateway are
+    reported separately as ``expected_delivery_failures`` — they are
+    healed by the replay, not lost.
     """
     docs = [f"case-{i}" for i in range(num_rooms)]
     records = {}
@@ -84,14 +98,23 @@ def run_chaos_conference(
         )
         records[doc_id] = record
         store.store_document(record)
-    harness = ClusterHarness(
-        store,
-        num_shards=num_shards,
-        failure_timeout=failure_timeout,
-        reliability=reliability,
-        plan=plan,
-        interest_mode="cpnet" if interest_churn else "off",
-    )
+    if gateway_crash:
+        config = ClusterConfig(
+            shards=num_shards,
+            gateways=num_gateways,
+            failure_timeout=failure_timeout,
+            interest_mode="cpnet" if interest_churn else "off",
+        )
+        harness = ClusterHarness(store, config, reliability=reliability, plan=plan)
+    else:
+        harness = ClusterHarness(
+            store,
+            num_shards=num_shards,
+            failure_timeout=failure_timeout,
+            reliability=reliability,
+            plan=plan,
+            interest_mode="cpnet" if interest_churn else "off",
+        )
     primitives = {doc_id: primitive_paths(records[doc_id]) for doc_id in docs}
     churning = interest_churn and clients_per_room > 1
     clients: dict[str, list[Any]] = {}
@@ -125,18 +148,35 @@ def run_chaos_conference(
 
     base = harness.clock.now  # timeline anchor: phase 1 fully drained
     victim = harness.owner_of(crash_owner_of) if crash_owner_of else None
+    # The gateway to kill: whoever homes room 0's writer — guaranteed to
+    # have parked ops and a learned route cache when it dies.
+    gw_victim = (
+        harness.network.home_of(clients[docs[0]][0].node_id)
+        if gateway_crash
+        else None
+    )
     if partition:
         if plan is None:
             raise ValueError("partition=True needs a FaultPlan to carry the window")
-        # Cut the gateway off from one shard that is NOT the crash
-        # victim: the partition must be survivable by retries alone.
-        target = next(s for s in sorted(harness.shards) if s != victim)
-        plan.partition(
-            {harness.gateway.node_id},
-            {target},
-            base + PARTITION_START,
-            base + PARTITION_END,
-        )
+        if gw_victim is not None:
+            # Cut the doomed gateway off from room 0's owning shard: the
+            # crash then lands mid-repair, the worst-case interleaving.
+            plan.partition(
+                {gw_victim},
+                {harness.owner_of(docs[0])},
+                base + PARTITION_START,
+                base + PARTITION_END,
+            )
+        else:
+            # Cut the gateway off from one shard that is NOT the crash
+            # victim: the partition must be survivable by retries alone.
+            target = next(s for s in sorted(harness.shards) if s != victim)
+            plan.partition(
+                {harness.gateway.node_id},
+                {target},
+                base + PARTITION_START,
+                base + PARTITION_END,
+            )
 
     harness.start(until=base + horizon)
 
@@ -162,15 +202,41 @@ def run_chaos_conference(
                 clients[doc_id][1].subscribe(primitives[doc_id], replace=True)
 
     harness.clock.schedule_at(base + PHASE2_AT, phase2)
+    if gw_victim is not None:
+        harness.schedule_crash(gw_victim, base + GW_CRASH_AT)
     if victim is not None:
         harness.schedule_crash(victim, base + CRASH_AT)
     harness.clock.schedule_at(base + PHASE3_AT, phase3)
     harness.run()
 
     all_clients = [client for room in clients.values() for client in room]
+    failures = [
+        {
+            "sender": failure.sender,
+            "recipient": failure.recipient,
+            "kind": failure.kind,
+            "reason": failure.reason,
+        }
+        for failure in harness.network.delivery_failures
+    ]
+    # Frames that died *with* a crashed node are expected and healed —
+    # the gateway failover replay covers the gateway victim's, and the
+    # routing retry covers envelopes in flight to the crashed shard when
+    # the replay races the shard crash. Anything else is a real loss.
+    # (Legacy mode keeps full strictness: no gateway victim, no filter.)
+    healed_recipients = set()
+    if gw_victim is not None:
+        healed_recipients.add(gw_victim)
+        if victim is not None:
+            healed_recipients.add(victim)
+    expected_failures = [f for f in failures if f["recipient"] in healed_recipients]
+    residual_failures = [
+        f for f in failures if f["recipient"] not in healed_recipients
+    ]
     return {
         "harness": harness,
         "victim": victim,
+        "gateway_victim": gw_victim,
         "displayed": {c.viewer_id: c.displayed() for c in all_clients},
         "fully_rendered": {c.viewer_id: c.fully_rendered() for c in all_clients},
         "errors": [
@@ -178,21 +244,15 @@ def run_chaos_conference(
             for c in all_clients
             for error in c.errors
         ],
-        "delivery_failures": [
-            {
-                "sender": failure.sender,
-                "recipient": failure.recipient,
-                "kind": failure.kind,
-                "reason": failure.reason,
-            }
-            for failure in harness.network.delivery_failures
-        ],
+        "delivery_failures": residual_failures,
+        "expected_delivery_failures": expected_failures,
         "injected": (
             harness.network.injected_counts()
             if hasattr(harness.network, "injected_counts")
             else {}
         ),
-        "failovers": list(harness.gateway.failovers),
+        "failovers": list(harness.failovers),
+        "gateway_failovers": list(harness.gateway_failovers),
         "network_messages": harness.network.stats.messages,
         "network_bytes": harness.network.stats.bytes_total,
         "sim_seconds": harness.clock.now,

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.cluster.config import ClusterConfig
 from repro.cluster.harness import ClusterHarness
 from repro.db.orm import MultimediaObjectStore
 from repro.workloads.records import generate_record
@@ -31,6 +32,7 @@ def run_cluster_conference(
     seed: int = 0,
     harness: ClusterHarness | None = None,
     batch_window_s: float = 0.0,
+    config: ClusterConfig | None = None,
 ) -> dict[str, Any]:
     """Run *num_rooms* concurrent consultations through a cluster.
 
@@ -43,7 +45,9 @@ def run_cluster_conference(
     scale-out measurable.
 
     Pass a prebuilt *harness* to observe or perturb the run (e.g. crash a
-    shard mid-conference); otherwise one is built with *num_shards*.
+    shard mid-conference); otherwise one is built with *num_shards* — or
+    from *config*, which overrides the individual topology knobs and can
+    turn on the gateway tier (``ClusterConfig(gateways >= 1)``).
     """
     docs = [f"case-{i}" for i in range(num_rooms)]
     records = {}
@@ -57,10 +61,13 @@ def run_cluster_conference(
         records[doc_id] = record
         store.store_document(record)
     if harness is None:
-        harness = ClusterHarness(
-            store, num_shards=num_shards, service_rate=service_rate,
-            batch_window_s=batch_window_s,
-        )
+        if config is not None:
+            harness = ClusterHarness(store, config)
+        else:
+            harness = ClusterHarness(
+                store, num_shards=num_shards, service_rate=service_rate,
+                batch_window_s=batch_window_s,
+            )
     clients: dict[str, list[Any]] = {}
     for index, doc_id in enumerate(docs):
         room_clients = []
@@ -107,5 +114,9 @@ def run_cluster_conference(
         },
         "network_bytes": harness.network.stats.bytes_total,
         "network_messages": harness.network.stats.messages,
+        "gateways": len(harness.gateways),
+        "route_cache": (
+            harness.route_cache_stats() if harness.config.tiered else None
+        ),
         "harness": harness,
     }

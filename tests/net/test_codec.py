@@ -97,6 +97,14 @@ KIND_PAYLOADS = {
     MessageKind.ACK: {"seq": 3, "replica": "shard-1"},
     MessageKind.HEARTBEAT: {"node": "shard-0", "at": 4.5},
     MessageKind.PROMOTE: {"primary": "shard-0"},
+    MessageKind.ROUTE_REPORT: {
+        "session_id": "shard-0:session-1", "key": "record-17", "shard": "shard-0",
+    },
+    MessageKind.ROUTE_LOOKUP: {"session_id": "shard-0:session-1"},
+    MessageKind.ROUTE_INFO: {
+        "session_id": "shard-0:session-1", "shard": "shard-0", "key": "record-17",
+    },
+    MessageKind.ROUTE_INVALIDATE: {"shard": "shard-2"},
 }
 
 

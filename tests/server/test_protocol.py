@@ -43,6 +43,7 @@ class TestMessageKinds:
             MessageKind.CLIENT_KINDS
             + MessageKind.SERVER_KINDS
             + MessageKind.CLUSTER_KINDS
+            + MessageKind.GATEWAY_KINDS
         )
         assert len(set(kinds)) == len(kinds)
 
@@ -58,6 +59,19 @@ class TestMessageKinds:
             MessageKind.HEARTBEAT,
             MessageKind.PROMOTE,
         } == cluster
+
+    def test_gateway_kinds_are_control_plane_only(self):
+        # Route-cache control traffic stays off every other vocabulary.
+        gateway = set(MessageKind.GATEWAY_KINDS)
+        assert not gateway & set(MessageKind.CLIENT_KINDS)
+        assert not gateway & set(MessageKind.SERVER_KINDS)
+        assert not gateway & set(MessageKind.CLUSTER_KINDS)
+        assert {
+            MessageKind.ROUTE_REPORT,
+            MessageKind.ROUTE_LOOKUP,
+            MessageKind.ROUTE_INFO,
+            MessageKind.ROUTE_INVALIDATE,
+        } == gateway
 
 
 class TestSession:
