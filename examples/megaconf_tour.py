@@ -1,0 +1,148 @@
+"""A tour of the overload-safe cluster: the mega-conference flash crowd.
+
+A conference day runs from a declarative schedule: parallel tracks at a
+steady join rate, attendees migrating between rooms at session
+boundaries, then a keynote that packs *every* attendee into one room
+inside a quarter-second window — a join-rate flash crowd more than 10x
+steady state, aimed at a single shard with finite service capacity.
+
+The day runs twice over the identical schedule:
+
+1. **Unguarded** — the overloaded shard's serial queue just grows; every
+   arriving op piles more latency onto the ones behind it.
+2. **Admission-controlled** — a gate in front of each queue defers JOINs
+   (parked FIFO, resumed as the queue drains) before shedding data ops
+   (bounced with a typed ``RETRY_AFTER`` carrying a deterministic
+   backoff hint the client honors with seeded jitter). Control-plane
+   traffic — heartbeats, PROMOTE, ACKs — is never gated, so overload
+   can't fake a death and trigger a spurious failover.
+
+The tour shows what admission buys: bounded queue depth under the same
+crowd, zero control-plane sheds, and a clean day — every join eventually
+lands, every shed op is retried exactly once into the shard's dedup
+fence, and nobody is left parked when the lights go out.
+
+Run:  python examples/megaconf_tour.py
+"""
+
+import tempfile
+
+from repro import obs
+from repro.cluster import AdmissionConfig, ClusterConfig
+from repro.db import Database, MultimediaObjectStore
+from repro.workloads import build_conference_schedule, run_megaconf
+
+SERVICE_RATE = 60.0  # ops/s per shard — the keynote wave arrives faster
+
+
+def conference_schedule():
+    return build_conference_schedule(
+        tracks=4,
+        slots_per_track=2,
+        attendees_per_session=6,   # 24 attendees in the building
+        session_s=4.0,
+        join_window_s=3.0,         # steady state: 8 joins/s
+        keynote_window_s=0.25,     # keynote: 96 joins/s
+        keynote_s=8.0,
+        events_per_session=4,
+        keynote_events=8,
+    )
+
+
+def run_day(workdir, tag, admission):
+    """One conference day in an isolated metrics registry."""
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry), obs.use_event_log(obs.EventLog()):
+        db = Database(f"{workdir}/db-{tag}")
+        store = MultimediaObjectStore(db)
+        config = ClusterConfig(
+            shards=4, gateways=2, service_rate=SERVICE_RATE, admission=admission
+        )
+        try:
+            result = run_megaconf(
+                store, conference_schedule(), config=config, seed=17
+            )
+        finally:
+            db.close()
+    return result
+
+
+def describe(label, result):
+    lat = result["join_latency"]
+    adm = result["admission"]
+    peak = max(result["queue_max_pending"].values())
+    print(f"\n--- {label} ---")
+    print(
+        f"  track joins   n={lat['track']['n']:3d}  "
+        f"p50={lat['track']['p50'] * 1000:7.1f} ms  "
+        f"p99={lat['track']['p99'] * 1000:7.1f} ms"
+    )
+    print(
+        f"  keynote joins n={lat['keynote']['n']:3d}  "
+        f"p50={lat['keynote']['p50'] * 1000:7.1f} ms  "
+        f"p99={lat['keynote']['p99'] * 1000:7.1f} ms"
+    )
+    print(f"  peak queue depth: {peak}")
+    if adm["accepted"] or adm["deferred"] or adm["shed"]:
+        print(
+            f"  admission: {adm['accepted']} accepted, "
+            f"{adm['deferred']} deferred (all resumed FIFO), "
+            f"{adm['shed']} shed {adm['shed_by_lane']}"
+        )
+        print(
+            f"  client retries honored: {result['retry_afters']}  "
+            f"control-plane sheds: {adm['control_shed']}  "
+            f"parked residue: {adm['parked_residue']}"
+        )
+    print(f"  errors: {len(result['errors'])}  late joins: {result['late_joins']}")
+
+
+def main():
+    schedule = conference_schedule()
+    keynote = schedule.keynote
+    print("== The mega-conference schedule ==")
+    print(
+        f"  {len(schedule.attendees)} attendees, 4 tracks x 2 waves, "
+        f"{len(schedule.docs)} rooms, {schedule.horizon_s:.0f}s horizon"
+    )
+    print(
+        f"  steady join rate {schedule.steady_join_rate:.0f}/s; keynote "
+        f"{keynote.join_rate:.0f}/s into one room — "
+        f"{schedule.keynote_join_ratio:.0f}x flash crowd vs {SERVICE_RATE:.0f} "
+        f"ops/s of shard capacity"
+    )
+
+    with tempfile.TemporaryDirectory() as workdir:
+        unguarded = run_day(workdir, "unguarded", None)
+        guarded = run_day(
+            workdir,
+            "guarded",
+            AdmissionConfig(
+                depth_defer=8, depth_shed=16, defer_limit=256, retry_after_s=0.25
+            ),
+        )
+
+    describe("unguarded: the queue just grows", unguarded)
+    describe("admission-controlled: bounded deferral", guarded)
+
+    peak_off = max(unguarded["queue_max_pending"].values())
+    peak_on = max(guarded["queue_max_pending"].values())
+    print("\n== What admission bought ==")
+    print(
+        f"  peak queue depth {peak_off} -> {peak_on} "
+        f"(gate: defer at 8, shed at 16; control traffic never gated)"
+    )
+    print(
+        "  every deferred JOIN resumed in FIFO order; every shed op retried\n"
+        "  after its deterministic backoff hint and landed exactly once\n"
+        "  behind the shard's op_seq fence."
+    )
+    assert guarded["errors"] == [] and guarded["late_joins"] == 0
+    assert guarded["admission"]["control_shed"] == 0
+    assert guarded["admission"]["parked_residue"] == 0
+    assert peak_on < peak_off
+    print("\nall invariants held — a flash crowd, survived politely")
+
+
+if __name__ == "__main__":
+    main()

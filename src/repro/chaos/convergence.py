@@ -41,8 +41,8 @@ def _one_run(
     root: str,
     name: str,
     plan: FaultPlan | None,
-    quick: bool,
     tracing: bool = False,
+    runner: Any = run_chaos_conference,
     **kwargs: Any,
 ) -> dict[str, Any]:
     """One isolated conference run (fresh obs context, fresh database)."""
@@ -61,7 +61,7 @@ def _one_run(
             try:
                 with tracer:
                     store = MultimediaObjectStore(db)
-                    result = run_chaos_conference(store, plan=plan, **kwargs)
+                    result = runner(store, plan=plan, **kwargs)
             finally:
                 db.close()
             counters = registry.snapshot()["counters"]
@@ -83,6 +83,7 @@ def run_convergence(
     interest_churn: bool = False,
     tracing: bool = False,
     gateway_crash: bool = False,
+    megaconf: bool = False,
 ) -> dict[str, Any]:
     """Control + one chaos run per seed; report agreement.
 
@@ -102,15 +103,30 @@ def run_convergence(
     gateway tier and fail-stops one gateway mid-conference — in both
     the control and the seeded runs, so the replay/op_seq machinery must
     reconverge byte-identically under faults too.
+    ``megaconf`` swaps the three-phase conference for the mega-conference
+    keynote flash crowd (:func:`~repro.workloads.megaconf
+    .run_megaconf_convergence`): admission control is on, JOIN deferral
+    engages during the keynote wave, and the fault window (plus the
+    optional gateway crash) lands mid-keynote — overload shedding and
+    chaos repair must *compose* without breaking byte-identity.
     """
-    events_per_room = 3 if quick else 6
-    kwargs = dict(
-        events_per_room=events_per_room,
-        crash_owner_of="case-0" if crash else None,
-        interest_churn=interest_churn,
-        gateway_crash=gateway_crash,
-    )
-    control = _one_run(root, "control", None, quick, **kwargs)
+    if megaconf:
+        from repro.workloads.megaconf import run_megaconf_convergence
+
+        runner: Any = run_megaconf_convergence
+        kwargs: dict[str, Any] = dict(quick=quick, gateway_crash=gateway_crash)
+        seed_kwargs: dict[str, Any] = {}
+    else:
+        runner = run_chaos_conference
+        events_per_room = 3 if quick else 6
+        kwargs = dict(
+            events_per_room=events_per_room,
+            crash_owner_of="case-0" if crash else None,
+            interest_churn=interest_churn,
+            gateway_crash=gateway_crash,
+        )
+        seed_kwargs = dict(partition=partition)
+    control = _one_run(root, "control", None, runner=runner, **kwargs)
     report: dict[str, Any] = {
         "control": {
             "displayed": control["displayed"],
@@ -123,8 +139,8 @@ def run_convergence(
     for seed in seeds:
         plan = FaultPlan(seed=seed, **DEFAULT_RATES)
         result = _one_run(
-            root, f"seed-{seed}", plan, quick,
-            tracing=tracing, partition=partition, **kwargs,
+            root, f"seed-{seed}", plan,
+            tracing=tracing, runner=runner, **seed_kwargs, **kwargs,
         )
         retries = sum(
             value
@@ -184,6 +200,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run through the gateway tier and kill one gateway mid-conference",
     )
+    parser.add_argument(
+        "--megaconf",
+        action="store_true",
+        help="keynote flash crowd with admission control instead of the "
+        "three-phase conference (faults land mid-keynote)",
+    )
     parser.add_argument("--root", default=None, help="scratch dir (default: mkdtemp)")
     args = parser.parse_args(argv)
     root = args.root
@@ -200,6 +222,7 @@ def main(argv: list[str] | None = None) -> int:
         interest_churn=args.interest_churn,
         tracing=args.tracing,
         gateway_crash=args.gateway_crash,
+        megaconf=args.megaconf,
     )
     for seed, entry in report["seeds"].items():
         status = "ok" if entry["ok"] else "DIVERGED"

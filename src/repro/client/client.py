@@ -18,13 +18,14 @@ from repro.client.view import RenderTree
 from repro.net.codec import StringInterner, encode_message, stamp_frame
 from repro.net.message import Message
 from repro.net.network import SimulatedNetwork
-from repro.obs.dtrace import TRACED_CLIENT_KINDS, get_dtrace
+from repro.obs.dtrace import HOP_SHED_WAIT, TRACED_CLIENT_KINDS, get_dtrace
 from repro.presentation.tuning import (
     BANDWIDTH_LOW,
     BANDWIDTH_MEDIUM,
     TUNING_VARIABLE,
 )
 from repro.server.protocol import MessageKind
+from repro.util.backoff import seeded_jitter
 
 DEFAULT_BUFFER_BYTES = 64 * 1024 * 1024
 
@@ -106,9 +107,25 @@ class ClientModule:
         self._op_seq = 0
         self._op_log: list[tuple[str, dict[str, Any]]] = []
         self._offline: list[tuple[str, dict[str, Any]]] = []
+        #: sessions this client has left: their ops never re-dispatch.
+        self._closed_sessions: set[str] = set()
+        #: RETRY_AFTER bounces received (admission control shed us).
+        self.retry_afters: list[dict[str, Any]] = []
+        self._m_retry_after = obs.get_registry().counter("client.retry_after_received")
+        self._rejoin_attempts = 0
+        self._rejoin_pending = False
+        #: lowest shed op_seq awaiting re-send; while set, newly issued
+        #: parked ops are held in the op log instead of dispatched so the
+        #: retry flush replays everything in original order.
+        self._retry_from_seq: int | None = None
+        self._retry_timer_armed = False
+        #: when the pending shed-retry window opened (earliest bounce).
+        self._retry_shed_at: float | None = None
         #: completed gateway failovers seen by this client, in order.
         self.gateway_failovers: list[dict[str, Any]] = []
         self.updates_received = 0
+        #: in-flight updates from a room we had already left, dropped.
+        self.stale_updates = 0
         self.join_time: float | None = None
         self.join_latency: float | None = None
         self.response_times: list[float] = []
@@ -125,7 +142,19 @@ class ClientModule:
         self._send(MessageKind.JOIN, {"viewer_id": self.viewer_id, "doc_id": doc_id})
 
     def leave(self) -> None:
-        self._send(MessageKind.LEAVE, {"session_id": self._require_session()})
+        session_id = self._require_session()
+        self._send(MessageKind.LEAVE, {"session_id": session_id})
+        # A left session is abandoned: none of its backlog may replay
+        # after a gateway failover — the shard drops the session (and
+        # its op_seq dedup fence) with the LEAVE, so a replayed op can
+        # only bounce as an unroutable-session error. Ops the user
+        # walked away from are at-most-once by design.
+        self._closed_sessions.add(session_id)
+        self._op_log = [
+            entry
+            for entry in self._op_log
+            if entry[1].get("session_id") != session_id
+        ]
         self.session_id = None
         self.room_id = None
 
@@ -218,6 +247,13 @@ class ClientModule:
                 payload = dict(payload)
                 payload["op_seq"] = self._op_seq
                 self._op_log.append((kind, payload))
+                if self._retry_from_seq is not None:
+                    # An earlier op of ours was shed and is waiting to
+                    # retry; sending this one now would arrive ahead of
+                    # it and be shed by the server's ordering fence
+                    # anyway. Hold it — the flush replays the log in
+                    # order from the shed seq.
+                    return
             hub = self.network.hub_for(self.node_id)
             if not self.network.has_node(hub):
                 # Our home gateway is dead and the directory has not
@@ -228,16 +264,32 @@ class ClientModule:
                 return
         self._dispatch(kind, payload)
 
-    def _dispatch(self, kind: str, payload: dict[str, Any]) -> None:
-        """Encode and put one request on the wire to our current home."""
+    def _dispatch(
+        self, kind: str, payload: dict[str, Any], shed_at: float | None = None
+    ) -> None:
+        """Encode and put one request on the wire to our current home.
+
+        *shed_at* marks a re-dispatch after a ``RETRY_AFTER`` bounce: the
+        trace roots at the bounce and the backoff we honored is recorded
+        as an explicit ``shed_wait`` hop — queueing on the op's critical
+        path, not wire time.
+        """
         frame = encode_message(kind, payload, interner=self._wire_table)
         dtrace = self._dtrace
         if dtrace.enabled and kind in TRACED_CLIENT_KINDS:
             # Root of the delivery trace: one trace per sampled user
             # action, carried end-to-end on the wire from here.
             ctx = dtrace.start_trace(
-                self.node_id, kind, self._now(), room=self.room_id
+                self.node_id,
+                kind,
+                shed_at if shed_at is not None else self._now(),
+                room=self.room_id,
             )
+            if ctx is not None and shed_at is not None:
+                ctx = dtrace.record_hop(
+                    ctx, HOP_SHED_WAIT, self.node_id, shed_at, self._now(),
+                    kind=kind,
+                )
             if ctx is not None:
                 frame = stamp_frame(frame, (ctx,))
         self.network.send(
@@ -270,6 +322,8 @@ class ClientModule:
             self.peer_events.append(payload)
         elif message.kind == MessageKind.BROADCAST:
             self.broadcasts.append(payload)
+        elif message.kind == MessageKind.RETRY_AFTER:
+            self._on_retry_after(payload)
         elif message.kind == MessageKind.ERROR:
             detail = str(payload.get("detail", ""))
             if self._tuning_level is not None and TUNING_VARIABLE in detail:
@@ -292,6 +346,8 @@ class ClientModule:
             entry["path"]: dict(entry.get("sizes", {})) for entry in structure
         }
         self.render.apply_update(payload.get("outcome", {}))
+        self._rejoin_attempts = 0
+        self._rejoin_pending = False
         if self.join_time is not None:
             self.join_latency = self._now() - self.join_time
             self._m_join_latency.observe(self.join_latency)
@@ -311,6 +367,16 @@ class ClientModule:
     def _on_presentation_update(self, payload: dict[str, Any]) -> None:
         if self.render is None:
             raise ClientError("presentation update before join_ack")
+        doc_id = payload.get("doc_id")
+        if self.session_id is None or (
+            doc_id is not None and doc_id != self.doc_id
+        ):
+            # Stale fan-out from a room we already left: our LEAVE was
+            # still in flight when the server sent this. Dropping it is
+            # the only deterministic choice — what a departed viewer
+            # "last saw" must not depend on delivery races.
+            self.stale_updates += 1
+            return
         self.updates_received += 1
         changed = self.render.apply_update(payload.get("changes", {}))
         if self._awaiting_response_since is not None:
@@ -356,6 +422,105 @@ class ClientModule:
             if self.render.value_of(component) == value:
                 self.render.mark_payload_ready(component)
 
+    # ----- admission backpressure ---------------------------------------------------------
+
+    def _on_retry_after(self, payload: dict[str, Any]) -> None:
+        """An overloaded shard or gateway bounced one of our requests.
+
+        The bounce carries a deterministic backoff hint; we honor it with
+        seeded jitter (hashed from our identity, never random) so a flash
+        crowd shed together does not retry together. JOINs re-enter a
+        rejoin loop with escalating delay; shed session ops replay from
+        the op log in original order; op_seq-less reads re-dispatch their
+        echoed payload verbatim.
+        """
+        self.retry_afters.append(payload)
+        self._m_retry_after.inc()
+        kind = payload.get("kind")
+        after_s = float(payload.get("after_s", 0.25))
+        if kind == MessageKind.JOIN:
+            doc_id = payload.get("doc_id", self.doc_id)
+            if doc_id is not None:
+                self._schedule_rejoin(doc_id, after_s)
+            return
+        op_seq = payload.get("op_seq")
+        if op_seq is not None and self._park_ops:
+            if self._retry_from_seq is None or op_seq < self._retry_from_seq:
+                self._retry_from_seq = op_seq
+            if self._retry_shed_at is None:
+                self._retry_shed_at = self._now()
+            if not self._retry_timer_armed and self.network is not None:
+                self._retry_timer_armed = True
+                delay = after_s * (
+                    1.0 + 0.5 * seeded_jitter(self.viewer_id, "ops", op_seq)
+                )
+                self.network.clock.schedule(delay, self._flush_op_retries)
+            return
+        data = payload.get("data")
+        if data is not None and self.network is not None:
+            shed_at = self._now()
+            delay = after_s * (1.0 + 0.5 * seeded_jitter(self.viewer_id, kind, after_s))
+            self.network.clock.schedule(
+                delay, lambda: self._redispatch_read(kind, dict(data), shed_at)
+            )
+
+    def _schedule_rejoin(self, doc_id: str, hint_s: float) -> None:
+        if self.session_id is not None or self._rejoin_pending:
+            return
+        if self.network is None:
+            return
+        self._rejoin_pending = True
+        self._rejoin_attempts += 1
+        attempt = self._rejoin_attempts
+        # Escalate on repeated bounces (capped at 8x the hint) and jitter
+        # by up to +50% so the crowd decorrelates deterministically.
+        delay = hint_s * min(2.0 ** (attempt - 1), 8.0)
+        delay *= 1.0 + 0.5 * seeded_jitter(self.viewer_id, "join", attempt)
+        self.network.clock.schedule(delay, lambda: self._rejoin(doc_id))
+
+    def _rejoin(self, doc_id: str) -> None:
+        self._rejoin_pending = False
+        if self.session_id is not None:
+            return
+        # Deliberately not join(): the original join_time stands (the
+        # user has been waiting since their first click) and the wire
+        # table survives — the uplink connection never dropped.
+        self._send(MessageKind.JOIN, {"viewer_id": self.viewer_id, "doc_id": doc_id})
+
+    def _flush_op_retries(self) -> None:
+        self._retry_timer_armed = False
+        from_seq, self._retry_from_seq = self._retry_from_seq, None
+        shed_at, self._retry_shed_at = self._retry_shed_at, None
+        if from_seq is None or self.network is None:
+            return
+        hub = self.network.hub_for(self.node_id)
+        if not self.network.has_node(hub):
+            # Home gateway died while we were backing off; the gateway
+            # failover replay covers the whole log, nothing to do here.
+            return
+        for kind, payload in list(self._op_log):
+            if payload.get("op_seq", 0) >= from_seq:
+                self._dispatch(kind, payload, shed_at=shed_at)
+
+    def _redispatch_read(
+        self, kind: str, payload: dict[str, Any], shed_at: float | None = None
+    ) -> None:
+        if self.network is None:
+            return
+        session_id = payload.get("session_id")
+        if session_id is not None and session_id != self.session_id:
+            # The bounce outlived the session: we left the room while
+            # backing off, so the read would chase a dead session. What
+            # a departed viewer never fetched stays unfetched by design.
+            self.stale_updates += 1
+            return
+        hub = self.network.hub_for(self.node_id)
+        if not self.network.has_node(hub):
+            if self._park_ops:
+                self._offline.append((kind, payload))
+            return
+        self._dispatch(kind, payload, shed_at=shed_at)
+
     # ----- gateway failover ---------------------------------------------------------------
 
     def on_gateway_failover(self, new_gateway: str) -> None:
@@ -369,6 +534,9 @@ class ClientModule:
         queued while we were detached flush after it.
         """
         self._wire_table.reset()
+        # The full-log replay below supersedes any pending shed retry.
+        self._retry_from_seq = None
+        self._retry_shed_at = None
         self.gateway_failovers.append(
             {"gateway": new_gateway, "at": self._now(), "replayed": len(self._op_log)}
         )
@@ -376,6 +544,8 @@ class ClientModule:
             self._dispatch(kind, payload)
         offline, self._offline = self._offline, []
         for kind, payload in offline:
+            if payload.get("session_id") in self._closed_sessions:
+                continue
             self._dispatch(kind, payload)
 
     # ----- graceful degradation ----------------------------------------------------------

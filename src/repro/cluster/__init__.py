@@ -21,6 +21,11 @@ clients and the rooms/DB without changing the client protocol:
   :class:`GatewayNode` access points with per-client homing and route
   caches, plus the :class:`GatewayDirectory` control plane that assigns
   clients to gateways and fails them over when a gateway dies;
+* :mod:`repro.cluster.admission` — the :class:`AdmissionController`
+  guarding each shard's service queue and each gateway's routing queue:
+  priority lanes (control never shed, JOINs deferred before data drops)
+  and typed ``RETRY_AFTER`` bounces so overload degrades into
+  bounded-latency deferral instead of unbounded queueing;
 * :mod:`repro.cluster.config` — :class:`ClusterConfig`, the named
   topology configuration all of the above is built from;
 * :mod:`repro.cluster.harness` — one-call wiring of a whole cluster.
@@ -30,6 +35,11 @@ shared :class:`~repro.net.simclock.SimClock`, so cluster behaviour —
 including failover — is deterministic and byte-accounted.
 """
 
+from repro.cluster.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    lane_of,
+)
 from repro.cluster.config import ClusterConfig
 from repro.cluster.failover import FailureDetector, schedule_periodic
 from repro.cluster.gateway import Gateway
@@ -40,6 +50,8 @@ from repro.cluster.ring import HashRing, ring_hash
 from repro.cluster.shard import ServiceQueue, ShardServer
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
     "ClusterConfig",
     "ClusterHarness",
     "FailureDetector",
@@ -52,6 +64,7 @@ __all__ = [
     "ServiceQueue",
     "ShardServer",
     "ShipLog",
+    "lane_of",
     "ring_hash",
     "schedule_periodic",
 ]

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cluster.admission import AdmissionConfig
 from repro.errors import ClusterError
 
 
@@ -42,6 +43,10 @@ class ClusterConfig:
     vnodes: int = 64
     #: Interest management mode ("off" or "cpnet").
     interest_mode: str = "off"
+    #: Admission control in front of shard service queues and gateway
+    #: routing queues. ``None`` (the default) leaves every queue
+    #: unbounded — the pre-admission cluster, byte for byte.
+    admission: AdmissionConfig | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:

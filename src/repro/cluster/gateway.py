@@ -28,6 +28,7 @@ from repro.obs import LATENCY_BUCKETS
 from repro.obs.dtrace import HOP_GATEWAY_ROUTE, get_dtrace
 from repro.server.protocol import MessageKind
 from repro.server.session import Session
+from repro.util.backoff import seeded_jitter
 from repro.util.ids import IdGenerator
 
 
@@ -43,6 +44,7 @@ class Gateway:
         replication_factor: int = 2,
         route_retry_base_s: float = 0.25,
         route_retry_attempts: int = 6,
+        route_retry_max_s: float = 4.0,
     ) -> None:
         self.node_id = node_id
         self.network = network
@@ -51,6 +53,7 @@ class Gateway:
         self.detector = FailureDetector(failure_timeout)
         self.route_retry_base_s = route_retry_base_s
         self.route_retry_attempts = route_retry_attempts
+        self.route_retry_max_s = route_retry_max_s
         self._ids = IdGenerator(namespace=node_id)
         self._shards: set[str] = set()
         self._dead: set[str] = set()
@@ -326,7 +329,7 @@ class Gateway:
                 }
                 self._send_framed(sender_node, MessageKind.ERROR, body)
             return
-        delay = self.route_retry_base_s * (2.0**attempt)
+        delay = self._route_retry_delay(sender_node, kind, attempt)
         self._m_route_retries.inc()
         self._emit(
             "gateway.route_retry", node=sender_node, kind=kind,
@@ -338,6 +341,19 @@ class Gateway:
                 sender_node, kind, payload, attempt + 1, frame
             ),
         )
+
+    def _route_retry_delay(self, sender_node: str, kind: str, attempt: int) -> float:
+        """Capped exponential backoff with deterministic per-op jitter.
+
+        Uncapped ``base * 2**attempt`` punishes late attempts far past
+        any failover duration, and identical delays make every op parked
+        by the same shard death retry in one synchronized stampede. The
+        cap bounds the wait; the jitter (up to +50%, hashed from the
+        op's identity, never random) spreads the stampede while keeping
+        every run of the simulation bit-reproducible.
+        """
+        delay = min(self.route_retry_base_s * (2.0**attempt), self.route_retry_max_s)
+        return delay * (1.0 + 0.5 * seeded_jitter(self.node_id, sender_node, kind, attempt))
 
     def _route_retry_tick(
         self,

@@ -36,6 +36,13 @@ from typing import Any
 
 from repro import obs
 from repro.errors import ClusterError
+from repro.cluster.admission import (
+    DEFER,
+    SHED,
+    AdmissionConfig,
+    AdmissionController,
+    retry_after_body,
+)
 from repro.cluster.failover import FailureDetector, schedule_periodic
 from repro.cluster.gateway import Gateway
 from repro.cluster.ring import HashRing
@@ -44,7 +51,7 @@ from repro.net.codec import Frame, StringInterner, encode_message
 from repro.net.message import Message
 from repro.net.network import SimulatedNetwork
 from repro.obs import LATENCY_BUCKETS
-from repro.obs.dtrace import HOP_DIRECTORY_LOOKUP, HOP_GATEWAY_QUEUE
+from repro.obs.dtrace import HOP_DIRECTORY_LOOKUP, HOP_GATEWAY_QUEUE, HOP_SHED_WAIT
 from repro.server.protocol import MessageKind
 
 
@@ -61,6 +68,8 @@ class GatewayNode(Gateway):
         replication_factor: int = 2,
         route_retry_base_s: float = 0.25,
         route_retry_attempts: int = 6,
+        route_retry_max_s: float = 4.0,
+        admission: AdmissionConfig | None = None,
     ) -> None:
         super().__init__(
             network,
@@ -69,12 +78,22 @@ class GatewayNode(Gateway):
             replication_factor=replication_factor,
             route_retry_base_s=route_retry_base_s,
             route_retry_attempts=route_retry_attempts,
+            route_retry_max_s=route_retry_max_s,
         )
         self.directory_id = directory_id
         self.alive = True
         self._route_queue = (
             ServiceQueue(network.clock, route_rate) if route_rate is not None else None
         )
+        # Admission needs a measurable queue: with no routing-capacity
+        # model every message dispatches at arrival and depth is always
+        # zero, so the gate would never trip anyway.
+        self.admission: AdmissionController | None = None
+        if admission is not None and self._route_queue is not None:
+            self.admission = AdmissionController(
+                node_id, self._route_queue, admission, self._resume_deferred
+            )
+            self._route_queue.on_drain = self.admission.pump
         #: ops parked on a route-cache miss: session -> FIFO of
         #: (sender, kind, payload, frame, trace ctx, parked-at time).
         self._route_waiting: dict[str, list[tuple[Any, ...]]] = {}
@@ -142,9 +161,62 @@ class GatewayNode(Gateway):
             self._on_route_invalidate(payload)
             return
         if self._route_queue is not None and self._is_data_plane(kind, payload):
+            # Only client-originated kinds face admission lanes: ROUTE
+            # envelopes from shards are responses already paid for, and
+            # shedding them would strand acked server state.
+            if self.admission is not None and kind in MessageKind.CLIENT_KINDS:
+                session_id = payload.get("session_id")
+                decision = self.admission.admit(
+                    kind, session_id=session_id, op_seq=payload.get("op_seq")
+                )
+                if decision.action == DEFER:
+                    ctx = self._dtrace.current() if self._dtrace.enabled else None
+                    self.admission.park((message, ctx))
+                    return
+                if decision.action == SHED:
+                    self._send_retry_after(
+                        message.sender, kind, payload, decision.retry_after_s
+                    )
+                    return
+                if kind == MessageKind.LEAVE:
+                    self.admission.forget_session(session_id)
             self._enqueue(message)
             return
         super().receive(message)
+
+    def _resume_deferred(self, item: tuple[Message, Any], parked_at: float) -> None:
+        """Pump callback: re-enter one deferred JOIN into the route queue."""
+        message, ctx = item
+        if not self.alive:
+            return
+        if not self.network.has_node(message.sender):
+            # The parked client is gone: drop with zero residue.
+            self.admission.drop_parked()
+            self._emit(
+                "gateway.admission.deferred_dropped",
+                node=message.sender, kind=message.kind,
+            )
+            return
+        if ctx is not None:
+            advanced = self._dtrace.record_hop(
+                ctx, HOP_SHED_WAIT, self.node_id, parked_at,
+                self.network.clock.now, kind=message.kind,
+            )
+            with self._dtrace.inbound(advanced):
+                self._enqueue(message)
+        else:
+            self._enqueue(message)
+
+    def _send_retry_after(
+        self, sender: str, kind: str, payload: dict[str, Any], after_s: float
+    ) -> None:
+        """Bounce one shed client op straight back with a backoff hint."""
+        body = retry_after_body(kind, payload, after_s, self.node_id)
+        self._emit(
+            "gateway.admission.shed", node=sender, kind=kind, after_s=after_s
+        )
+        if self.network.has_node(sender):
+            self._send_framed(sender, MessageKind.RETRY_AFTER, body)
 
     def _is_data_plane(self, kind: str, payload: dict[str, Any]) -> bool:
         """Envelopes that pay the routing-capacity cost (not control)."""
@@ -330,6 +402,10 @@ class GatewayNode(Gateway):
         base = super().stats()
         base["route_cache"] = self.route_cache_stats()
         base["alive"] = self.alive
+        if self._route_queue is not None:
+            base["queue_max_pending"] = self._route_queue.max_pending
+        if self.admission is not None:
+            base["admission"] = self.admission.stats()
         return base
 
 

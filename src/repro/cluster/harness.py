@@ -122,6 +122,7 @@ class ClusterHarness:
             gateway_id,
             route_rate=self.config.route_rate,
             replication_factor=self.config.replication_factor,
+            admission=self.config.admission,
         )
         self.directory.register_gateway(gateway)
         for shard_id in self.shards:
@@ -147,6 +148,7 @@ class ClusterHarness:
             interest_mode=self.config.interest_mode,
             batch_window_s=self.config.batch_window_s,
             gateway_ring=self.gateway_ring,
+            admission=self.config.admission,
         )
         self.network.attach_backbone(shard, uplink=uplink, downlink=downlink)
         self.control.register_shard(shard_id)
@@ -166,7 +168,9 @@ class ClusterHarness:
             viewer_id,
             network=self.network,
             auto_fetch=auto_fetch,
-            park_ops=self.config.tiered,
+            # Admission sheds are retried off the client's op log, which
+            # only exists with op parking on — so admission implies it.
+            park_ops=self.config.tiered or self.config.admission is not None,
         )
         self.network.attach_client(client, uplink=uplink, downlink=downlink)
         if self.directory is not None:

@@ -17,6 +17,13 @@ from __future__ import annotations
 from typing import Any
 
 from repro import obs
+from repro.cluster.admission import (
+    DEFER,
+    SHED,
+    AdmissionConfig,
+    AdmissionController,
+    retry_after_body,
+)
 from repro.cluster.replication import LogEntry, ReplicaState, ShipLog
 from repro.cluster.ring import HashRing
 from repro.cluster.failover import schedule_periodic
@@ -29,7 +36,7 @@ from repro.net.codec import Frame, StringInterner, encode_message, stamp_frame
 from repro.net.message import Message
 from repro.net.network import SimulatedNetwork
 from repro.net.simclock import SimClock
-from repro.obs.dtrace import HOP_SHARD_QUEUE, TraceContext, get_dtrace
+from repro.obs.dtrace import HOP_SHARD_QUEUE, HOP_SHED_WAIT, TraceContext, get_dtrace
 from repro.server.interaction import InteractionServer
 from repro.server.permissions import PermissionPolicy
 from repro.server.protocol import MessageKind
@@ -65,6 +72,12 @@ class ServiceQueue:
     the pre-cluster behaviour). With a rate, each submitted op occupies
     the server for ``1/rate`` simulated seconds, FIFO — the shard-side
     twin of what :class:`~repro.net.link.Link` does for wires.
+
+    The queue tracks its own depth (``pending``, high-water
+    ``max_pending``) and exposes an ``on_drain`` hook fired after each
+    dispatched op — the seam admission control pumps deferred work
+    through. With ``on_drain`` unset the timing behaviour is identical
+    to the untracked queue.
     """
 
     def __init__(self, clock: SimClock, rate: float | None = None) -> None:
@@ -73,18 +86,45 @@ class ServiceQueue:
         self._clock = clock
         self._rate = rate
         self._busy_until = 0.0
+        self.pending = 0
+        self.max_pending = 0
+        self.on_drain = None
 
     def submit(self, work) -> None:
+        self.pending += 1
+        if self.pending > self.max_pending:
+            self.max_pending = self.pending
         if self._rate is None:
-            work()
+            self._run(work)
             return
         start = max(self._clock.now, self._busy_until)
         self._busy_until = start + 1.0 / self._rate
-        self._clock.schedule_at(self._busy_until, work)
+        self._clock.schedule_at(self._busy_until, lambda: self._run(work))
+
+    def _run(self, work) -> None:
+        try:
+            work()
+        finally:
+            self.pending -= 1
+            if self.on_drain is not None:
+                self.on_drain()
 
     @property
     def busy_until(self) -> float:
         return self._busy_until
+
+    @property
+    def clock(self) -> SimClock:
+        return self._clock
+
+    @property
+    def rate(self) -> float | None:
+        return self._rate
+
+    @property
+    def wait_s(self) -> float:
+        """Simulated seconds of backlog already committed to the server."""
+        return max(0.0, self._busy_until - self._clock.now)
 
 
 class _GatewayTransport:
@@ -152,6 +192,7 @@ class ShardServer:
         interest_mode: str = "off",
         batch_window_s: float = 0.0,
         gateway_ring: HashRing | None = None,
+        admission: AdmissionConfig | None = None,
     ) -> None:
         self.node_id = shard_id
         self.network = network
@@ -172,6 +213,12 @@ class ShardServer:
             interest_mode=interest_mode, batch_window_s=batch_window_s,
         )
         self.queue = ServiceQueue(network.clock, service_rate)
+        self.admission: AdmissionController | None = None
+        if admission is not None:
+            self.admission = AdmissionController(
+                shard_id, self.queue, admission, self._resume_deferred
+            )
+            self.queue.on_drain = self.admission.pump
         self._ship: dict[str, ShipLog] = {}          # replica shard -> log
         self._replicas: dict[str, ReplicaState] = {}  # primary shard -> standby
         self._promoted: dict[str, InteractionServer] = {}
@@ -257,16 +304,21 @@ class ShardServer:
             kind = payload["kind"]
             inner = payload["payload"]
             ctx = self._dtrace.current() if self._dtrace.enabled else None
-            if ctx is not None:
-                # The service queue may dispatch much later than arrival;
-                # capture the context now so the queueing span covers the
-                # whole enqueue→dispatch wait.
-                enqueued = self.network.clock.now
-                self.queue.submit(
-                    lambda: self._dispatch_client(ctx, enqueued, sender, kind, inner)
+            if self.admission is not None:
+                session_id = inner.get("session_id") if isinstance(inner, dict) else None
+                op_seq = inner.get("op_seq") if isinstance(inner, dict) else None
+                decision = self.admission.admit(
+                    kind, session_id=session_id, op_seq=op_seq
                 )
-            else:
-                self.queue.submit(lambda: self._handle_client(sender, kind, inner))
+                if decision.action == DEFER:
+                    self.admission.park((sender, kind, inner, ctx))
+                    return
+                if decision.action == SHED:
+                    self._send_retry_after(sender, kind, inner, decision.retry_after_s)
+                    return
+                if kind == MessageKind.LEAVE:
+                    self.admission.forget_session(session_id)
+            self._submit_client(ctx, sender, kind, inner)
         elif message.kind == MessageKind.REPLICATE:
             self._handle_replicate(message.sender, payload)
         elif message.kind == MessageKind.ACK:
@@ -284,6 +336,66 @@ class ShardServer:
             )
 
     # ----- client ops -------------------------------------------------------------
+
+    def _submit_client(
+        self,
+        ctx: TraceContext | None,
+        sender: str,
+        kind: str,
+        inner: dict[str, Any],
+    ) -> None:
+        if ctx is not None:
+            # The service queue may dispatch much later than arrival;
+            # capture the context now so the queueing span covers the
+            # whole enqueue→dispatch wait.
+            enqueued = self.network.clock.now
+            self.queue.submit(
+                lambda: self._dispatch_client(ctx, enqueued, sender, kind, inner)
+            )
+        else:
+            self.queue.submit(lambda: self._handle_client(sender, kind, inner))
+
+    def _resume_deferred(self, item: tuple[str, str, Any, Any], parked_at: float) -> None:
+        """Pump callback: re-enter one deferred JOIN into the dispatch path."""
+        sender, kind, inner, ctx = item
+        if not self.alive:
+            return
+        if not self.network.has_node(sender):
+            # The parked client departed (crash or gateway re-home swept
+            # it away) before capacity freed up: drop with zero residue —
+            # nothing was applied, so there is nothing to clean up.
+            self.admission.drop_parked()
+            self._events.emit(
+                "cluster.admission.deferred_dropped",
+                at=self.network.clock.now,
+                shard=self.node_id,
+                node=sender,
+                kind=kind,
+            )
+            return
+        if ctx is not None:
+            ctx = self._dtrace.record_hop(
+                ctx, HOP_SHED_WAIT, self.node_id, parked_at,
+                self.network.clock.now, kind=kind,
+            )
+        self._submit_client(ctx, sender, kind, inner)
+
+    def _send_retry_after(
+        self, sender: str, kind: str, inner: dict[str, Any], after_s: float
+    ) -> None:
+        """Bounce one shed op back to its client with a backoff hint."""
+        body = retry_after_body(kind, inner, after_s, self.node_id)
+        self._events.emit(
+            "cluster.admission.shed",
+            at=self.network.clock.now,
+            shard=self.node_id,
+            node=sender,
+            kind=kind,
+            after_s=after_s,
+        )
+        self._send_clientbound(
+            sender, MessageKind.RETRY_AFTER, body, 0, None, attempt=0
+        )
 
     def _dispatch_client(
         self,
@@ -692,15 +804,19 @@ class ShardServer:
         return self._replicas.get(primary_id)
 
     def stats(self) -> dict[str, Any]:
-        return {
+        stats = {
             "shard": self.node_id,
             "alive": self.alive,
             "rooms": sum(len(s.room_ids) for s in self.serving_servers()),
             "sessions": sum(len(s.session_ids) for s in self.serving_servers()),
             "standby_primaries": sorted(self._replicas),
             "promoted_primaries": sorted(self._promoted),
+            "queue_max_pending": self.queue.max_pending,
             "replication": {
                 replica: {"shipped": log.shipped_seq, "acked": log.acked_seq, "lag": log.lag}
                 for replica, log in sorted(self._ship.items())
             },
         }
+        if self.admission is not None:
+            stats["admission"] = self.admission.stats()
+        return stats

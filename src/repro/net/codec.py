@@ -91,6 +91,8 @@ STATIC_STRINGS: tuple[str, ...] = (
     # gateway tier (appended, never reordered: ids above are pinned)
     "route_report", "route_lookup", "route_info", "route_invalidate",
     "gateway", "op_seq", "shard", "key", "removed",
+    # admission control (appended, never reordered: ids above are pinned)
+    "retry_after", "after_s", "reason", "deferred", "shed",
 )
 
 _STATIC_IDS: dict[str, int] = {s: i for i, s in enumerate(STATIC_STRINGS)}

@@ -78,6 +78,7 @@ HOP_REPLICATE = "replicate"
 HOP_BATCH_WAIT = "batch_wait"
 HOP_RETRANSMIT = "retransmit"
 HOP_DOWNLINK = "downlink"
+HOP_SHED_WAIT = "shed_wait"
 
 ALL_HOPS = (
     HOP_UPLINK,
@@ -89,6 +90,7 @@ ALL_HOPS = (
     HOP_BATCH_WAIT,
     HOP_RETRANSMIT,
     HOP_DOWNLINK,
+    HOP_SHED_WAIT,
 )
 
 #: Critical-path attribution buckets. Everything not explicitly queueing,
@@ -99,6 +101,7 @@ HOP_CATEGORY = {
     HOP_GATEWAY_QUEUE: "queueing",
     HOP_DIRECTORY_LOOKUP: "queueing",
     HOP_SHARD_QUEUE: "queueing",
+    HOP_SHED_WAIT: "queueing",
     HOP_BATCH_WAIT: "batch_window",
     HOP_RETRANSMIT: "retransmit_backoff",
 }

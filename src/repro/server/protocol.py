@@ -44,6 +44,7 @@ class MessageKind:
     TELEMETRY = "telemetry"
     TELEMETRY_EVENT = "telemetry_event"
     SUBSCRIBE_ACK = "subscribe_ack"
+    RETRY_AFTER = "retry_after"
 
     # server <-> server (the repro.cluster tier): gateway-to-shard message
     # forwarding, primary-to-replica log shipping, and liveness/failover.
@@ -66,7 +67,7 @@ class MessageKind:
     )
     SERVER_KINDS = (
         JOIN_ACK, PRESENTATION_UPDATE, PEER_EVENT, PAYLOAD, BROADCAST, ERROR,
-        MONITOR_ACK, TELEMETRY, TELEMETRY_EVENT, SUBSCRIBE_ACK,
+        MONITOR_ACK, TELEMETRY, TELEMETRY_EVENT, SUBSCRIBE_ACK, RETRY_AFTER,
     )
     CLUSTER_KINDS = (ROUTE, REPLICATE, ACK, HEARTBEAT, PROMOTE)
     GATEWAY_KINDS = (ROUTE_REPORT, ROUTE_LOOKUP, ROUTE_INFO, ROUTE_INVALIDATE)

@@ -1,0 +1,26 @@
+"""Deterministic backoff jitter for the simulated cluster.
+
+Every retry loop in the repro needs jitter (synchronized retries after a
+failover arrive as a second stampede) but must stay deterministic: the
+chaos convergence harness asserts byte-identical end states, and a
+``random`` draw would entangle retry timing with every other consumer of
+the module-level RNG. :func:`seeded_jitter` hashes the caller-supplied
+identity parts instead — same inputs, same jitter, on every run and
+every platform.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def seeded_jitter(*parts: object) -> float:
+    """A deterministic pseudo-random float in ``[0, 1)`` from *parts*.
+
+    Callers pass whatever identifies the retry (node id, message kind,
+    attempt number); distinct identities decorrelate, identical ones
+    repeat exactly. CRC-32 is plenty: this spreads retry timestamps, it
+    does not need cryptographic quality.
+    """
+    key = ":".join(str(part) for part in parts)
+    return zlib.crc32(key.encode("utf-8")) / 2**32

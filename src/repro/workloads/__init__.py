@@ -11,16 +11,29 @@
 * :mod:`repro.workloads.chaos` — the three-phase conference the chaos
   convergence suite replays under seeded fault plans;
 * :mod:`repro.workloads.interest` — deterministic sparse "who watches
-  what" subscription shapes (the interest-management scenario).
+  what" subscription shapes (the interest-management scenario);
+* :mod:`repro.workloads.megaconf` — a schedule-driven mega-conference
+  day: parallel tracks, session-boundary migration and a keynote flash
+  crowd (the admission-control benchmark's overload scenario).
 """
 
 from repro.workloads.chaos import run_chaos_conference
 from repro.workloads.cluster import run_cluster_conference
 from repro.workloads.interest import primitive_paths, sparse_subscriptions
+from repro.workloads.megaconf import (
+    ConferenceSchedule,
+    SessionSlot,
+    build_conference_schedule,
+    run_megaconf,
+    run_megaconf_convergence,
+)
 from repro.workloads.records import generate_record, generate_record_corpus
 from repro.workloads.sessions import consultation_events, random_choice_events
 
 __all__ = [
+    "ConferenceSchedule",
+    "SessionSlot",
+    "build_conference_schedule",
     "consultation_events",
     "generate_record",
     "generate_record_corpus",
@@ -28,5 +41,7 @@ __all__ = [
     "random_choice_events",
     "run_chaos_conference",
     "run_cluster_conference",
+    "run_megaconf",
+    "run_megaconf_convergence",
     "sparse_subscriptions",
 ]
