@@ -43,10 +43,13 @@ def _one_run(
     plan: FaultPlan | None,
     tracing: bool = False,
     runner: Any = run_chaos_conference,
+    interpreted: bool = False,
     **kwargs: Any,
 ) -> dict[str, Any]:
     """One isolated conference run (fresh obs context, fresh database)."""
     from contextlib import nullcontext
+
+    from repro.cpnet.compiled import interpreted_mode
 
     registry = obs.MetricsRegistry()
     with obs.use_registry(registry):
@@ -57,9 +60,10 @@ def _one_run(
                 if tracing
                 else nullcontext()
             )
+            engine_mode = interpreted_mode() if interpreted else nullcontext()
             db = Database(f"{root}/{name}")
             try:
-                with tracer:
+                with tracer, engine_mode:
                     store = MultimediaObjectStore(db)
                     result = runner(store, plan=plan, **kwargs)
             finally:
@@ -68,7 +72,7 @@ def _one_run(
             result["counters"] = {
                 key: value
                 for key, value in counters.items()
-                if key.startswith(("net.", "chaos.", "gateway.route"))
+                if key.startswith(("net.", "chaos.", "gateway.route", "cpnet."))
             }
             result.pop("harness", None)
             return result
@@ -84,6 +88,7 @@ def run_convergence(
     tracing: bool = False,
     gateway_crash: bool = False,
     megaconf: bool = False,
+    cpnet_compiled: bool = False,
 ) -> dict[str, Any]:
     """Control + one chaos run per seed; report agreement.
 
@@ -109,6 +114,12 @@ def run_convergence(
     engages during the keynote wave, and the fault window (plus the
     optional gateway crash) lands mid-keynote — overload shedding and
     chaos repair must *compose* without breaking byte-identity.
+    ``cpnet_compiled`` makes the *control* run on the interpreted CP-net
+    engine while the seeded chaos runs keep compiled evaluation and the
+    shared completion cache on — so convergence then also proves the
+    compiled hot path (with caching, across a shard crash) is
+    byte-identical to the reference sweeps; each seed must additionally
+    register completion-cache hits to prove sharing actually happened.
     """
     if megaconf:
         from repro.workloads.megaconf import run_megaconf_convergence
@@ -126,7 +137,9 @@ def run_convergence(
             gateway_crash=gateway_crash,
         )
         seed_kwargs = dict(partition=partition)
-    control = _one_run(root, "control", None, runner=runner, **kwargs)
+    control = _one_run(
+        root, "control", None, runner=runner, interpreted=cpnet_compiled, **kwargs
+    )
     report: dict[str, Any] = {
         "control": {
             "displayed": control["displayed"],
@@ -149,17 +162,24 @@ def run_convergence(
         )
         injected = sum(result["injected"].values())
         converged = result["displayed"] == control["displayed"]
+        cache_hits = int(
+            result["counters"].get("cpnet.completion_cache.hits", 0)
+        )
         seed_ok = (
             converged
             and not result["errors"]
             and not result["delivery_failures"]
             and injected > 0
             and retries > 0
+            # Compiled mode must prove the cache actually shared work,
+            # not just that the compiled sweep happened to agree.
+            and (not cpnet_compiled or cache_hits > 0)
         )
         ok = ok and seed_ok
         report["seeds"][seed] = {
             "ok": seed_ok,
             "converged": converged,
+            "completion_cache_hits": cache_hits,
             "errors": result["errors"],
             "delivery_failures": result["delivery_failures"],
             "injected": result["injected"],
@@ -206,6 +226,12 @@ def main(argv: list[str] | None = None) -> int:
         help="keynote flash crowd with admission control instead of the "
         "three-phase conference (faults land mid-keynote)",
     )
+    parser.add_argument(
+        "--cpnet-compiled",
+        action="store_true",
+        help="interpreted control vs compiled+cached chaos runs: proves the "
+        "compiled CP-net hot path is byte-identical under faults",
+    )
     parser.add_argument("--root", default=None, help="scratch dir (default: mkdtemp)")
     args = parser.parse_args(argv)
     root = args.root
@@ -223,6 +249,7 @@ def main(argv: list[str] | None = None) -> int:
         tracing=args.tracing,
         gateway_crash=args.gateway_crash,
         megaconf=args.megaconf,
+        cpnet_compiled=args.cpnet_compiled,
     )
     for seed, entry in report["seeds"].items():
         status = "ok" if entry["ok"] else "DIVERGED"

@@ -18,10 +18,24 @@ needs:
 * dominance queries via improving-flip search
   (:func:`~repro.cpnet.dominance.dominates`),
 * the Section 4.2 online-update policies
-  (:mod:`repro.cpnet.updates`), and
+  (:mod:`repro.cpnet.updates`),
+* compiled evaluation — flat tables over a frozen topological order,
+  plus a shard-scoped completion cache
+  (:mod:`repro.cpnet.compiled`), and
 * JSON round-tripping (:mod:`repro.cpnet.serialize`).
 """
 
+from repro.cpnet.compiled import (
+    CompiledCPNet,
+    CompiledExtension,
+    CompletionCache,
+    compile_cpnet,
+    compile_extension,
+    compiled_enabled,
+    completion_key,
+    interpreted_mode,
+    set_compiled_enabled,
+)
 from repro.cpnet.cpt import CPT, PreferenceRule
 from repro.cpnet.dominance import compare, dominates, improving_flips
 from repro.cpnet.elicitation import CPNetBuilder
@@ -47,6 +61,9 @@ __all__ = [
     "CPT",
     "CPNet",
     "CPNetBuilder",
+    "CompiledCPNet",
+    "CompiledExtension",
+    "CompletionCache",
     "OperationVariable",
     "PreferenceRule",
     "Variable",
@@ -55,6 +72,12 @@ __all__ = [
     "apply_operation",
     "best_completion",
     "compare",
+    "compile_cpnet",
+    "compile_extension",
+    "compiled_enabled",
+    "completion_key",
+    "interpreted_mode",
+    "set_compiled_enabled",
     "dominates",
     "figure2_network",
     "improving_flips",

@@ -1,0 +1,454 @@
+"""Compiled CP-net evaluation: flat tables, one frozen sweep, shared cache.
+
+The interpreted queries in :mod:`repro.cpnet.reasoning` re-derive the
+topological order (Kahn) and re-scan every CPT's rule list (with
+most-specific-wins arbitration) on *every* call — per viewer, per choice.
+Following Boutilier/Brafman/Domshlak (a single forward sweep through a
+fixed topological order is optimal for acyclic nets), this module
+compiles a network **once per structural version** into:
+
+* a frozen topological order, and
+* per variable, an exact ``parent-value-tuple -> total order`` lookup
+  table, resolved at compile time so ``rule_for``'s linear scan and
+  specificity tie-breaking never run per query.
+
+Exactness is preserved bit for bit: assignments whose rules are missing
+or ambiguous are *not* flattened — they fall back to the interpreted
+``rule_for`` at query time, raising the very same
+:class:`~repro.errors.IncompleteTableError` the interpreter would, and
+CPTs whose parent space exceeds :data:`FLAT_SPACE_LIMIT` flatten lazily
+(first query resolves, later queries hit the memo).
+
+Invalidation is driven by the §4.2 update policies: every structural
+mutation of :class:`~repro.cpnet.network.CPNet` (and of a
+:class:`~repro.cpnet.updates.ViewerExtension`) bumps a version counter;
+:func:`compile_cpnet` / :func:`compile_extension` recompile exactly when
+the version moved. Viewer extensions compile as *overlay* layers that
+share the base compilation — the base is never copied (§4.2: the shared
+network "should not be duplicated").
+
+On top sits :class:`CompletionCache`, a bounded LRU memo of completed
+outcomes keyed by (doc id, structural versions, frozen evidence items).
+It is designed to live at **shard scope** (one per
+:class:`~repro.server.interaction.InteractionServer`): identical
+constraint sets across viewers, rooms and sessions hit the same entry.
+Metrics: ``cpnet.compile``, ``cpnet.compiled.completions`` and
+``cpnet.completion_cache.{hits,misses,evictions,invalidations}`` in
+:mod:`repro.obs`.
+
+``set_compiled_enabled(False)`` / :func:`interpreted_mode` force every
+call site back onto the interpreted engine — the chaos convergence gate
+uses it to prove compiled and interpreted runs end byte-identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping
+
+from repro.errors import IncompleteTableError
+from repro.cpnet.cpt import CPT
+from repro.cpnet.network import CPNet
+from repro.obs import get_registry
+
+Assignment = Mapping[str, str]
+
+#: Per-CPT eager flattening budget: parent spaces larger than this are
+#: resolved lazily (first query interprets, later queries hit the memo)
+#: so compiling a net with one huge table stays cheap and bounded.
+FLAT_SPACE_LIMIT = 4096
+
+_enabled = True
+
+
+def compiled_enabled() -> bool:
+    """True while call sites should use the compiled evaluator."""
+    return _enabled
+
+
+def set_compiled_enabled(on: bool) -> bool:
+    """Flip the global compiled/interpreted switch; returns the old value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(on)
+    return previous
+
+
+@contextmanager
+def interpreted_mode() -> Iterator[None]:
+    """Force the interpreted engine within the block (convergence control)."""
+    previous = set_compiled_enabled(False)
+    try:
+        yield
+    finally:
+        set_compiled_enabled(previous)
+
+
+class _FlatTable:
+    """One variable's compiled CPT: parent-value tuple -> total order."""
+
+    __slots__ = ("name", "variable", "parent_names", "orders", "cpt")
+
+    def __init__(self, cpt: CPT) -> None:
+        self.name = cpt.variable.name
+        self.variable = cpt.variable
+        self.parent_names = cpt.parent_names
+        self.cpt = cpt
+        self.orders: dict[tuple[str, ...], tuple[str, ...]] = {}
+        if cpt.parent_space_size() <= FLAT_SPACE_LIMIT:
+            domains = [p.domain for p in cpt.parents]
+            names = self.parent_names
+            for combo in itertools.product(*domains):
+                try:
+                    rule = cpt.rule_for(dict(zip(names, combo)))
+                except IncompleteTableError:
+                    # Missing/ambiguous cells keep the interpreter's lazy
+                    # error semantics: they raise on first *query*, not
+                    # at compile time.
+                    continue
+                self.orders[combo] = rule.order
+
+    def order_for_key(self, key: tuple[str, ...]) -> tuple[str, ...]:
+        """Total order for a full parent-value tuple (memoizing misses)."""
+        order = self.orders.get(key)
+        if order is None:
+            order = self.cpt.rule_for(dict(zip(self.parent_names, key))).order
+            self.orders[key] = order
+        return order
+
+    def order_for(self, assignment: Assignment) -> tuple[str, ...]:
+        """Total order given any assignment covering the parents.
+
+        Partial assignments (a parent unset) bypass the flat table and
+        take the interpreted most-specific-rule path, uncached — exactly
+        what :meth:`CPT.order_for` would do.
+        """
+        key = tuple(assignment.get(p) for p in self.parent_names)
+        if None in key:
+            return self.cpt.rule_for(assignment).order
+        order = self.orders.get(key)  # type: ignore[arg-type]
+        if order is None:
+            order = self.cpt.rule_for(assignment).order
+            self.orders[key] = order  # type: ignore[index]
+        return order
+
+
+#: Sweep-plan entry kinds (see :func:`_build_plan`).
+_CONST, _ONE_PARENT, _GENERAL = 0, 1, 2
+
+
+def _build_plan(tables: tuple[_FlatTable, ...]) -> tuple[tuple, ...]:
+    """Flatten tables into branch-specialized sweep entries.
+
+    Each entry is ``(name, kind, const, parent, parents, firsts, table)``:
+
+    * ``_CONST`` — no parents and a resolved row: the best value is a
+      compile-time constant;
+    * ``_ONE_PARENT`` — ``firsts`` maps the parent's bare value straight
+      to the best value (no tuple build per query);
+    * ``_GENERAL`` — ``firsts`` maps the parent-value tuple to the best
+      value; misses fall back to the interpreted ``rule_for`` (lazy
+      tables, incomplete cells) and are memoized.
+    """
+    plan = []
+    for table in tables:
+        firsts = {key: order[0] for key, order in table.orders.items()}
+        if not table.parent_names and () in table.orders:
+            plan.append(
+                (table.name, _CONST, table.orders[()][0], None, (), None, table)
+            )
+        elif len(table.parent_names) == 1 and table.orders:
+            plan.append(
+                (
+                    table.name,
+                    _ONE_PARENT,
+                    None,
+                    table.parent_names[0],
+                    table.parent_names,
+                    {key[0]: value for key, value in firsts.items()},
+                    table,
+                )
+            )
+        else:
+            plan.append(
+                (table.name, _GENERAL, None, None, table.parent_names, firsts, table)
+            )
+    return tuple(plan)
+
+
+def _run_plan(
+    plan: tuple[tuple, ...], fixed: Mapping[str, str], outcome: dict[str, str]
+) -> dict[str, str]:
+    """Execute sweep entries in order, writing into *outcome*."""
+    for name, kind, const, parent, parents, firsts, table in plan:
+        if name in fixed:
+            outcome[name] = fixed[name]
+        elif kind == _CONST:
+            outcome[name] = const
+        elif kind == _ONE_PARENT:
+            value = outcome[parent]
+            try:  # subscript-on-hit beats .get(): the hot path is a hit
+                outcome[name] = firsts[value]
+            except KeyError:
+                best = table.order_for_key((value,))[0]
+                firsts[value] = best
+                outcome[name] = best
+        else:
+            key = tuple(map(outcome.__getitem__, parents))
+            try:
+                outcome[name] = firsts[key]
+            except KeyError:
+                best = table.order_for_key(key)[0]
+                firsts[key] = best
+                outcome[name] = best
+    return outcome
+
+
+class CompiledCPNet:
+    """A CP-net frozen into a topologically ordered sequence of flat tables.
+
+    Built by :func:`compile_cpnet`; valid for exactly one
+    ``net.structure_version``. ``best_completion`` performs the forward
+    sweep through a branch-specialized plan — at most one dict lookup per
+    free variable; no graph traversal, no rule scan, no specificity
+    arbitration, no per-variable function call.
+    """
+
+    __slots__ = (
+        "net", "version", "order", "_tables", "_sweep", "_plan",
+        "_optimal", "_m_completions",
+    )
+
+    def __init__(self, net: CPNet) -> None:
+        self.net = net
+        self.version = net.structure_version
+        self.order: tuple[str, ...] = tuple(net.topological_order())
+        self._tables: dict[str, _FlatTable] = {
+            name: _FlatTable(net.cpt(name)) for name in self.order
+        }
+        self._sweep: tuple[_FlatTable, ...] = tuple(
+            self._tables[name] for name in self.order
+        )
+        self._plan = _build_plan(self._sweep)
+        # The no-evidence completion is a constant of the compilation;
+        # memoized lazily (an incomplete table must still raise on the
+        # first actual query, not at compile time).
+        self._optimal: dict[str, str] | None = None
+        self._m_completions = get_registry().counter("cpnet.compiled.completions")
+
+    @property
+    def stale(self) -> bool:
+        """True once the net mutated past this compilation."""
+        return self.version != self.net.structure_version
+
+    def table(self, name: str) -> _FlatTable:
+        return self._tables[name]
+
+    def order_for(self, name: str, assignment: Assignment) -> tuple[str, ...]:
+        """Flat replacement for ``net.cpt(name).order_for(assignment)``."""
+        return self._tables[name].order_for(assignment)
+
+    def best_value(self, name: str, assignment: Assignment) -> str:
+        return self._tables[name].order_for(assignment)[0]
+
+    def best_completion(self, evidence: Assignment) -> dict[str, str]:
+        """Best outcome consistent with *evidence* — the compiled sweep.
+
+        Byte-identical to :func:`repro.cpnet.reasoning.best_completion`
+        on the same net (same values, same key order, same errors for
+        bad evidence or incomplete tables).
+        """
+        if not evidence:
+            memo = self._optimal
+            if memo is None:
+                memo = self._optimal = _run_plan(self._plan, {}, {})
+            self._m_completions.inc()
+            return dict(memo)  # callers mutate outcomes (subtree hiding)
+        fixed = self.net.check_partial(evidence)
+        outcome = _run_plan(self._plan, fixed, {})
+        self._m_completions.inc()
+        return outcome
+
+    def optimal_outcome(self) -> dict[str, str]:
+        return self.best_completion({})
+
+    def __repr__(self) -> str:
+        flat = sum(len(t.orders) for t in self._sweep)
+        return (
+            f"CompiledCPNet({self.net.name!r}, v{self.version}, "
+            f"{len(self.order)} vars, {flat} flat rows)"
+        )
+
+
+class CompiledExtension:
+    """A viewer extension compiled as an overlay on a shared base compilation.
+
+    Only the viewer-local variables get their own flat tables; the base
+    sweep is the (shared, never copied) :class:`CompiledCPNet` of the
+    base network. Valid for one (base version, extension version) pair.
+    """
+
+    __slots__ = ("extension", "base", "version", "_sweep", "_plan", "_m_completions")
+
+    def __init__(self, extension: Any, base: CompiledCPNet) -> None:
+        self.extension = extension
+        self.base = base
+        self.version = extension.extension_version
+        # Insertion order respects parent creation (see ViewerExtension).
+        self._sweep: tuple[_FlatTable, ...] = tuple(
+            _FlatTable(extension._cpts[name]) for name in extension.extension_names
+        )
+        self._plan = _build_plan(self._sweep)
+        self._m_completions = get_registry().counter("cpnet.compiled.completions")
+
+    @property
+    def stale(self) -> bool:
+        return (
+            self.version != self.extension.extension_version
+            or self.base.stale
+        )
+
+    def best_completion(self, evidence: Assignment) -> dict[str, str]:
+        """Best outcome over base + extension variables, compiled."""
+        extension = self.extension
+        fixed: dict[str, str] = {}
+        for name, value in evidence.items():
+            extension.variable(name).check_value(value)
+            fixed[name] = value
+        outcome = _run_plan(self.base._plan, fixed, {})
+        _run_plan(self._plan, fixed, outcome)
+        self._m_completions.inc()
+        return outcome
+
+
+def compile_cpnet(net: CPNet) -> CompiledCPNet:
+    """The (memoized) compilation of *net* at its current version.
+
+    The compiled object is cached on the network itself; a structural
+    mutation (version bump) triggers exactly one recompile on the next
+    call. Each actual compile increments the ``cpnet.compile`` counter.
+    """
+    cached: CompiledCPNet | None = getattr(net, "_compiled", None)
+    if cached is not None and not cached.stale:
+        return cached
+    compiled = CompiledCPNet(net)
+    net._compiled = compiled  # type: ignore[attr-defined]
+    get_registry().counter("cpnet.compile").inc()
+    return compiled
+
+
+def compile_extension(extension: Any) -> CompiledExtension:
+    """The (memoized) overlay compilation of a :class:`ViewerExtension`."""
+    base = compile_cpnet(extension.base)
+    cached: CompiledExtension | None = getattr(extension, "_compiled", None)
+    if cached is not None and cached.base is base and not cached.stale:
+        return cached
+    compiled = CompiledExtension(extension, base)
+    extension._compiled = compiled
+    get_registry().counter("cpnet.compile").inc()
+    return compiled
+
+
+def completion_key(
+    doc_id: str,
+    structure_version: int,
+    overlay: tuple[Any, ...],
+    evidence: Assignment,
+) -> tuple[Any, ...]:
+    """Canonical cache key: (doc, net version, overlay id, frozen evidence).
+
+    *overlay* is ``()`` for viewers with an empty extension — which is
+    how identical constraint sets across viewers and sessions land on
+    the same entry — and ``(viewer_id, ext_version)`` otherwise.
+    """
+    return (doc_id, structure_version, overlay, tuple(sorted(evidence.items())))
+
+
+class CompletionCache:
+    """Bounded LRU memo of completed outcomes, shared at shard scope.
+
+    Entries are stored and returned as *copies*: callers are free to
+    mutate the outcome they get back (subtree hiding does), and cache
+    state can never leak into anything a caller ships — replication
+    replay on a cacheless replica recomputes the same bytes.
+    """
+
+    def __init__(self, max_entries: int = 2048) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[Any, ...], dict[str, str]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        registry = get_registry()
+        self._m_hits = registry.counter("cpnet.completion_cache.hits")
+        self._m_misses = registry.counter("cpnet.completion_cache.misses")
+        self._m_evictions = registry.counter("cpnet.completion_cache.evictions")
+        self._m_invalidations = registry.counter("cpnet.completion_cache.invalidations")
+        self._g_size = registry.gauge("cpnet.completion_cache.size")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple[Any, ...]) -> dict[str, str] | None:
+        """The cached outcome for *key* (a fresh copy), or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            self._m_misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self._m_hits.inc()
+        return dict(entry)
+
+    def store(self, key: tuple[Any, ...], outcome: Mapping[str, str]) -> None:
+        """Memoize *outcome* under *key*, evicting the LRU entry if full."""
+        self._entries[key] = dict(outcome)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self._m_evictions.inc()
+        self._g_size.set(len(self._entries))
+
+    def invalidate(self, doc_id: str | None = None) -> int:
+        """Drop entries for *doc_id* (or everything); returns the count.
+
+        Called by the §4.2 update paths: a structural change already
+        makes old keys unreachable (the version is in the key), so this
+        is the precise reclamation that keeps dead entries from aging
+        out live ones.
+        """
+        if doc_id is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            stale = [key for key in self._entries if key[0] == doc_id]
+            for key in stale:
+                del self._entries[key]
+            dropped = len(stale)
+        if dropped:
+            self.invalidations += dropped
+            self._m_invalidations.inc(dropped)
+        self._g_size.set(len(self._entries))
+        return dropped
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CompletionCache({len(self._entries)}/{self.max_entries} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable, Iterator
 
 from repro.errors import CyclicNetworkError, UnknownVariableError
@@ -23,8 +24,18 @@ class CPNet:
         self._variables: dict[str, Variable] = {}
         self._cpts: dict[str, CPT] = {}
         self._children: dict[str, set[str]] = {}
+        # Structural version: bumped by every mutation that can change a
+        # query result (add/remove variable, re-parenting, new rules).
+        # `repro.cpnet.compiled` keys its flattened evaluators on it, so
+        # the §4.2 update policies invalidate compilations for free.
+        self._version = 0
 
     # ----- introspection ----------------------------------------------------
+
+    @property
+    def structure_version(self) -> int:
+        """Monotonic counter of structural mutations (compilation key)."""
+        return self._version
 
     def __len__(self) -> int:
         return len(self._variables)
@@ -99,11 +110,14 @@ class CPNet:
         # A new node whose parents already exist cannot close a cycle, so
         # no acyclicity re-check is needed — this keeps the §4.2 operation
         # update O(1) in the network size. set_parents() re-checks.
+        self._version += 1
         return variable
 
     def add_rule(self, name: str, condition: Assignment, order: Iterable[str]) -> PreferenceRule:
         """Append a preference rule to CPT(*name*)."""
-        return self.cpt(name).add_rule(condition, order)
+        rule = self.cpt(name).add_rule(condition, order)
+        self._version += 1
+        return rule
 
     def set_parents(self, name: str, parents: Iterable[str]) -> None:
         """Re-parent variable *name*, clearing its CPT rows.
@@ -128,6 +142,7 @@ class CPNet:
             for parent in old_cpt.parents:
                 self._children[parent.name].add(name)
             raise
+        self._version += 1
 
     def remove_variable(self, name: str, reparent_children: bool = False) -> None:
         """Remove a variable.
@@ -162,6 +177,7 @@ class CPNet:
         del self._variables[name]
         del self._cpts[name]
         self._children.pop(name, None)
+        self._version += 1
 
     # ----- semantics ------------------------------------------------------------
 
@@ -187,10 +203,10 @@ class CPNet:
         """Variables ordered parents-before-children (stable: insertion order
         breaks ties)."""
         indegree = {n: len(self._cpts[n].parents) for n in self._variables}
-        ready = [n for n in self._variables if indegree[n] == 0]
+        ready = deque(n for n in self._variables if indegree[n] == 0)
         order: list[str] = []
         while ready:
-            node = ready.pop(0)
+            node = ready.popleft()
             order.append(node)
             for child in sorted(self._children.get(node, ())):
                 indegree[child] -= 1

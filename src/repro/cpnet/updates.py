@@ -140,8 +140,17 @@ class ViewerExtension:
         self._variables: dict[str, Variable] = {}
         self._cpts: dict[str, CPT] = {}
         self._operations: list[OperationVariable] = []
+        # Overlay version: bumped by every viewer-local mutation, so the
+        # compiled overlay (repro.cpnet.compiled) invalidates precisely
+        # while the shared base compilation stays untouched.
+        self._version = 0
 
     # ----- structure ---------------------------------------------------------
+
+    @property
+    def extension_version(self) -> int:
+        """Monotonic counter of viewer-local mutations (compilation key)."""
+        return self._version
 
     @property
     def extension_names(self) -> tuple[str, ...]:
@@ -179,6 +188,7 @@ class ViewerExtension:
         variable = Variable(name=name, domain=tuple(domain), description=description)
         self._variables[name] = variable
         self._cpts[name] = CPT(variable=variable, parents=parent_vars)
+        self._version += 1
         return variable
 
     def add_rule(
@@ -189,7 +199,9 @@ class ViewerExtension:
             raise UnknownVariableError(
                 f"{name!r} is not a viewer-local variable of {self.viewer_id!r}"
             )
-        return self._cpts[name].add_rule(condition, order)
+        rule = self._cpts[name].add_rule(condition, order)
+        self._version += 1
+        return rule
 
     def apply_operation(
         self,
@@ -223,7 +235,20 @@ class ViewerExtension:
     # ----- reasoning -----------------------------------------------------------
 
     def best_completion(self, evidence: Assignment) -> dict[str, str]:
-        """Best outcome over base + extension variables, given *evidence*."""
+        """Best outcome over base + extension variables, given *evidence*.
+
+        Uses the compiled overlay (one shared base compilation, flat
+        viewer-local tables) unless compiled evaluation is globally
+        disabled; both paths produce byte-identical outcomes.
+        """
+        from repro.cpnet.compiled import compile_extension, compiled_enabled
+
+        if compiled_enabled():
+            return compile_extension(self).best_completion(evidence)
+        return self.interpreted_best_completion(evidence)
+
+    def interpreted_best_completion(self, evidence: Assignment) -> dict[str, str]:
+        """The reference sweep (fresh topo order, per-query rule scans)."""
         fixed: dict[str, str] = {}
         for name, value in evidence.items():
             self.variable(name).check_value(value)
@@ -239,6 +264,9 @@ class ViewerExtension:
                 outcome[name] = fixed[name]
             else:
                 outcome[name] = self._cpts[name].best_value(outcome)
+        # Same demand metric as reasoning.best_completion: one counted
+        # sweep per completion, whichever engine ran it.
+        get_registry().counter("cpnet.completions").inc()
         return outcome
 
     def optimal_outcome(self) -> dict[str, str]:
@@ -261,3 +289,4 @@ class ViewerExtension:
         self._variables.clear()
         self._cpts.clear()
         self._operations.clear()
+        self._version += 1

@@ -17,6 +17,12 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.errors import DocumentError
+from repro.cpnet.compiled import (
+    CompletionCache,
+    compile_cpnet,
+    compiled_enabled,
+    completion_key,
+)
 from repro.cpnet.network import CPNet
 from repro.cpnet.reasoning import best_completion, optimal_outcome
 from repro.cpnet.updates import add_component_variable, remove_component_variable
@@ -58,6 +64,10 @@ class MultimediaDocument:
         self.title = title or doc_id
         self._root = root
         self._network = network
+        #: Optional shard-scoped completion memo; the owning server sets
+        #: this when it opens the document so direct §5.1 queries share
+        #: entries with the presentation engines.
+        self.completion_cache: CompletionCache | None = None
         self._check_alignment()
 
     # ----- structure ------------------------------------------------------------
@@ -120,7 +130,7 @@ class MultimediaDocument:
 
     def default_presentation(self) -> dict[str, str]:
         """The optimal presentation given no choices of the viewers."""
-        return self._enforce_subtree_hiding(optimal_outcome(self._network))
+        return self._enforce_subtree_hiding(self._best_completion({}))
 
     def reconfig_presentation(
         self, events: Mapping[str, str] | Iterable[tuple[str, str]]
@@ -131,7 +141,28 @@ class MultimediaDocument:
         explicitly chose (later duplicates win, matching "recent choices").
         """
         evidence = dict(events if isinstance(events, Mapping) else list(events))
-        return self._enforce_subtree_hiding(best_completion(self._network, evidence))
+        return self._enforce_subtree_hiding(self._best_completion(evidence))
+
+    def _best_completion(self, evidence: Mapping[str, str]) -> dict[str, str]:
+        """One sweep over the author network, compiled when enabled and
+        shared through the server's completion cache when one is attached
+        (overlay ``()`` — these queries see no viewer extension)."""
+        if not compiled_enabled():
+            if not evidence:
+                return optimal_outcome(self._network)
+            return best_completion(self._network, evidence)
+        compiled = compile_cpnet(self._network)
+        if self.completion_cache is None:
+            return compiled.best_completion(evidence)
+        key = completion_key(
+            self.doc_id, self._network.structure_version, (), evidence
+        )
+        cached = self.completion_cache.lookup(key)
+        if cached is not None:
+            return cached
+        outcome = compiled.best_completion(evidence)
+        self.completion_cache.store(key, outcome)
+        return outcome
 
     def _enforce_subtree_hiding(self, outcome: dict[str, str]) -> dict[str, str]:
         """Hiding a composite hides every descendant, whatever the CPT says."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.cpnet.compiled import compile_cpnet, compiled_enabled
 from repro.cpnet.reasoning import best_completion
 from repro.document.component import PrimitiveMultimediaComponent
 from repro.document.document import MultimediaDocument
@@ -86,12 +87,20 @@ class CPNetPredictor:
             path.split(".")[0] for path in (recent_choices or [])[-2:]
         }
         network = self.document.network
+        # The hypothetical sweep below runs one best_completion per
+        # (component, alternative) pair; compiling the net once up front
+        # turns every sweep into flat-table lookups. A whole predictor
+        # run reuses one compilation (the regression test pins this).
+        evaluator = compile_cpnet(network) if compiled_enabled() else None
         scores: dict[tuple[str, str], float] = {}
         components = self.document.components()
         for path, node in components.items():
             if not isinstance(node, PrimitiveMultimediaComponent):
                 continue
-            order = network.cpt(path).order_for(outcome)
+            if evaluator is not None:
+                order = evaluator.order_for(path, outcome)
+            else:
+                order = network.cpt(path).order_for(outcome)
             weight = 1.0
             for value in order:
                 if value == outcome.get(path):
@@ -100,9 +109,11 @@ class CPNetPredictor:
                     key = (path, value)
                     scores[key] = scores.get(key, 0.0) + weight
                 # Consequences of hypothetically choosing this value.
-                hypothetical = best_completion(
-                    network, {**evidence, path: value}
-                )
+                hypothetical_evidence = {**evidence, path: value}
+                if evaluator is not None:
+                    hypothetical = evaluator.best_completion(hypothetical_evidence)
+                else:
+                    hypothetical = best_completion(network, hypothetical_evidence)
                 for other_path, other_value in hypothetical.items():
                     if other_path == path or other_path not in components:
                         continue

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.errors import DocumentError
 from repro.obs import get_registry
+from repro.cpnet.compiled import CompletionCache, compiled_enabled, completion_key
 from repro.cpnet.updates import OperationVariable, ViewerExtension
 from repro.document.document import MultimediaDocument
 from repro.presentation.spec import PresentationSpec, build_spec
@@ -47,8 +48,17 @@ class ViewerChoice:
 class PresentationEngine:
     """Presentation reasoning for one open document."""
 
-    def __init__(self, document: MultimediaDocument) -> None:
+    def __init__(
+        self,
+        document: MultimediaDocument,
+        completion_cache: CompletionCache | None = None,
+    ) -> None:
         self.document = document
+        #: Shard-scoped completion memo (repro.cpnet.compiled): shared
+        #: across every engine of the owning server, so identical
+        #: constraint sets from different viewers/rooms/sessions hit the
+        #: same entry. ``None`` keeps the engine self-contained.
+        self.completion_cache = completion_cache
         self._shared_choices: dict[str, str] = {}
         self._personal_choices: dict[str, dict[str, str]] = {}
         self._extensions: dict[str, ViewerExtension] = {}
@@ -141,6 +151,8 @@ class PresentationEngine:
         """Drop all memoized specs — call after mutating the document or
         its network outside this engine (e.g. ``document.add_component``)."""
         self._shared_version += 1
+        if self.completion_cache is not None:
+            self.completion_cache.invalidate(self.document.doc_id)
 
     def _variable_for(self, viewer_id: str, component: str):
         extension = self._extensions[viewer_id]
@@ -181,11 +193,41 @@ class PresentationEngine:
             from repro.cpnet.updates import apply_operation as apply_global
 
             self._shared_version += 1
+            # §4.2 precise invalidation: the structural version already
+            # orphans every cached completion of this document (it is in
+            # the key); reclaim the dead entries eagerly.
+            if self.completion_cache is not None:
+                self.completion_cache.invalidate(self.document.doc_id)
             return apply_global(self.document.network, component, operation, active_value)
         self._bump_viewer(viewer_id)
         return self._extensions[viewer_id].apply_operation(component, operation, active_value)
 
     # ----- presentation computation ---------------------------------------------------
+
+    def _best_completion(
+        self, viewer_id: str, extension: ViewerExtension, evidence: dict[str, str]
+    ) -> dict[str, str]:
+        """One completion sweep, shared through the shard cache when set.
+
+        Viewers with an empty extension key on overlay ``()`` — so two
+        members imposing the same constraints hit the same entry — while
+        a viewer with her own §4.2 extension keys on
+        ``(viewer_id, extension_version)`` and never pollutes anyone
+        else's lookups.
+        """
+        if not compiled_enabled() or self.completion_cache is None:
+            return extension.best_completion(evidence)
+        net = self.document.network
+        overlay = (viewer_id, extension.extension_version) if extension.size() else ()
+        key = completion_key(
+            self.document.doc_id, net.structure_version, overlay, evidence
+        )
+        cached = self.completion_cache.lookup(key)
+        if cached is not None:
+            return cached
+        outcome = extension.best_completion(evidence)
+        self.completion_cache.store(key, outcome)
+        return outcome
 
     def presentation_for(self, viewer_id: str, now: float = 0.0) -> PresentationSpec:
         """The optimal presentation of the document for *viewer_id*.
@@ -214,7 +256,7 @@ class PresentationEngine:
                 evidence[component] = value
         for component, value in self._personal_choices[viewer_id].items():
             evidence[component] = value
-        outcome = extension.best_completion(evidence)
+        outcome = self._best_completion(viewer_id, extension, evidence)
         outcome = self.document._enforce_subtree_hiding(outcome)
         spec = build_spec(self.document, viewer_id, outcome, computed_at=now)
         self._spec_cache[viewer_id] = (versions[0], versions[1], spec)

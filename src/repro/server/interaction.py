@@ -18,6 +18,7 @@ from typing import Any
 
 from repro.errors import RoomError, ServerError
 from repro import obs
+from repro.cpnet.compiled import CompletionCache
 from repro.db.orm import MultimediaObjectStore
 from repro.document.document import MultimediaDocument
 from repro.interest import (
@@ -85,6 +86,11 @@ class InteractionServer:
         self._sessions: dict[str, Session] = {}
         self._rooms: dict[str, Room] = {}
         self._rooms_by_doc: dict[str, str] = {}
+        #: Shard-scoped memo of compiled CP-net completions, shared by
+        #: every room/engine/document this server opens (ISSUE: share
+        #: completions across viewers). Bounded LRU; invalidated per
+        #: document on §4.2 structural updates.
+        self.completion_cache = CompletionCache()
         registry = obs.get_registry()
         self._registry = registry
         self._trace = obs.trace
@@ -229,7 +235,15 @@ class InteractionServer:
         if doc_id in self._rooms_by_doc:
             return self._rooms[self._rooms_by_doc[doc_id]]
         document = self.store.fetch_document(doc_id)
-        room = Room(room_id if room_id is not None else self._ids.next("room"), document)
+        # Every room (and the document's direct §5.1 queries) on this
+        # shard shares the one completion cache — identical constraint
+        # sets across viewers and rooms resolve to the same entry.
+        document.completion_cache = self.completion_cache
+        room = Room(
+            room_id if room_id is not None else self._ids.next("room"),
+            document,
+            completion_cache=self.completion_cache,
+        )
         self._rooms[room.room_id] = room
         self._rooms_by_doc[doc_id] = room.room_id
         self._g_rooms.set(len(self._rooms))
@@ -884,6 +898,7 @@ class InteractionServer:
             ),
             "spec_cache_hits": sum(r.engine.cache_hits for r in self._rooms.values()),
             "spec_cache_misses": sum(r.engine.cache_misses for r in self._rooms.values()),
+            "completion_cache": self.completion_cache.stats(),
             "triggers": len(self.triggers.triggers),
         }
 

@@ -19,6 +19,7 @@ from typing import Any
 
 from repro.errors import FrozenObjectError, RoomError
 from repro.obs import get_registry
+from repro.cpnet.compiled import CompletionCache
 from repro.cpnet.updates import OperationVariable
 from repro.document.document import MultimediaDocument
 from repro.interest.registry import InterestRegistry
@@ -40,10 +41,15 @@ class RoomChange:
 class Room:
     """One shared room around one multimedia document."""
 
-    def __init__(self, room_id: str, document: MultimediaDocument) -> None:
+    def __init__(
+        self,
+        room_id: str,
+        document: MultimediaDocument,
+        completion_cache: "CompletionCache | None" = None,
+    ) -> None:
         self.room_id = room_id
         self.document = document
-        self.engine = PresentationEngine(document)
+        self.engine = PresentationEngine(document, completion_cache=completion_cache)
         self._members: dict[str, str] = {}  # session_id -> viewer_id
         self._frozen: dict[str, str] = {}   # component -> viewer_id holding the freeze
         self._changes: list[RoomChange] = []

@@ -65,6 +65,27 @@ def test_traced_chaos_run_converges_to_untraced_control(tmp_path):
     assert entry["retries"] > 0
 
 
+def test_compiled_hot_path_converges_to_interpreted_control(tmp_path):
+    """The compiled CP-net engine is byte-identical under faults.
+
+    The control runs every completion on the interpreted reference sweep;
+    the seeded chaos run keeps compiled evaluation plus the shard-scoped
+    completion cache on, through the fault window and the primary crash.
+    Byte-identical final displays prove compilation and cache sharing
+    change no presentation decision — and the gate additionally requires
+    cache *hits*, so sharing demonstrably happened (not just agreed).
+    """
+    report = run_convergence(str(tmp_path), seeds=(1,), quick=True, cpnet_compiled=True)
+    assert report["ok"], report
+    entry = report["seeds"][1]
+    assert entry["converged"]
+    assert entry["errors"] == []
+    assert entry["delivery_failures"] == []
+    assert entry["completion_cache_hits"] > 0
+    assert sum(entry["injected"].values()) > 0
+    assert entry["failovers"] == 1
+
+
 def test_cli_reports_success(tmp_path, capsys):
     status = main(["--seeds", "3", "--quick", "--root", str(tmp_path)])
     out = capsys.readouterr().out

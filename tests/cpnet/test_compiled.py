@@ -1,0 +1,324 @@
+"""Compiled CP-net evaluation: exactness, invalidation, and the shared cache.
+
+The headline property (ISSUE satellite): the compiled engine is
+**byte-identical** to the interpreted reference — same values, same dict
+insertion order, same errors — including after §4.2 update sequences and
+through per-viewer extensions. Byte-identity is asserted via
+``json.dumps`` (which preserves dict order), not set equality.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IncompleteTableError
+from repro.obs import MetricsRegistry, get_registry, use_registry
+from repro.cpnet import (
+    CPNet,
+    CompletionCache,
+    apply_operation,
+    best_completion,
+    compile_cpnet,
+    compile_extension,
+    compiled_enabled,
+    completion_key,
+    figure2_network,
+    interpreted_mode,
+    optimal_outcome,
+)
+from repro.cpnet.examples import FIGURE2_OPTIMAL, random_dag_network
+from repro.cpnet.updates import ViewerExtension, add_component_variable
+
+
+def dumps(outcome):
+    return json.dumps(outcome)  # insertion order preserved = sweep order
+
+
+# ----- exactness on the paper's network ------------------------------------------
+
+
+class TestCompiledExactness:
+    def test_figure2_optimal(self):
+        net = figure2_network()
+        assert compile_cpnet(net).optimal_outcome() == FIGURE2_OPTIMAL
+
+    def test_matches_interpreted_byte_for_byte(self):
+        net = figure2_network()
+        compiled = compile_cpnet(net)
+        for evidence in ({}, {"c2": "c2_1"}, {"c1": "c1_2", "c5": "c5_1"}):
+            with interpreted_mode():
+                reference = best_completion(net, evidence)
+            assert dumps(compiled.best_completion(evidence)) == dumps(reference)
+
+    def test_order_for_matches_cpt(self):
+        net = figure2_network()
+        compiled = compile_cpnet(net)
+        outcome = optimal_outcome(net)
+        for name in net.variable_names:
+            assert compiled.order_for(name, outcome) == net.cpt(name).order_for(outcome)
+
+    def test_bad_evidence_raises_like_interpreter(self):
+        net = figure2_network()
+        compiled = compile_cpnet(net)
+        with pytest.raises(Exception) as compiled_err:
+            compiled.best_completion({"c1": "nonsense"})
+        with pytest.raises(Exception) as interpreted_err:
+            best_completion(net, {"c1": "nonsense"})
+        assert type(compiled_err.value) is type(interpreted_err.value)
+
+    def test_incomplete_table_raises_lazily(self):
+        """Missing CPT cells must raise on *query*, not at compile time."""
+        net = CPNet("incomplete")
+        net.add_variable("a", ("a1", "a2"))
+        net.add_rule("a", {}, ("a1", "a2"))
+        net.add_variable("b", ("b1", "b2"), parents=("a",))
+        net.add_rule("b", {"a": "a1"}, ("b1", "b2"))  # no rule for a=a2
+        compiled = compile_cpnet(net)  # must not raise
+        assert compiled.best_completion({})["b"] == "b1"
+        with pytest.raises(IncompleteTableError):
+            compiled.best_completion({"a": "a2"})
+
+    def test_oversized_cpt_flattens_lazily(self):
+        """A parent space over FLAT_SPACE_LIMIT is resolved per query."""
+        from repro.cpnet import compiled as compiled_mod
+
+        net = figure2_network()
+        old_limit = compiled_mod.FLAT_SPACE_LIMIT
+        compiled_mod.FLAT_SPACE_LIMIT = 0
+        try:
+            lazy = compile_cpnet(net.copy("lazy"))
+        finally:
+            compiled_mod.FLAT_SPACE_LIMIT = old_limit
+        assert all(not t.orders for t in lazy._sweep)  # nothing eager
+        assert lazy.optimal_outcome() == FIGURE2_OPTIMAL
+        # The first query memoized the visited cells.
+        assert any(t.orders for t in lazy._sweep)
+
+
+# ----- compilation memo + invalidation --------------------------------------------
+
+
+class TestCompilationInvalidation:
+    def test_compile_is_memoized(self):
+        net = figure2_network()
+        assert compile_cpnet(net) is compile_cpnet(net)
+
+    def test_structural_mutations_bump_version_and_recompile(self):
+        net = figure2_network()
+        first = compile_cpnet(net)
+        v0 = net.structure_version
+        apply_operation(net, "c2", "segment", "c2_2")
+        assert net.structure_version > v0
+        assert first.stale
+        second = compile_cpnet(net)
+        assert second is not first
+        assert "c2.segment" in second.order
+
+    def test_remove_variable_invalidates(self):
+        net = figure2_network()
+        apply_operation(net, "c2", "segment", "c2_2")
+        first = compile_cpnet(net)
+        net.remove_variable("c2.segment")
+        assert first.stale
+        assert "c2.segment" not in compile_cpnet(net).order
+
+    def test_compile_counter_counts_real_compiles_only(self):
+        with use_registry(MetricsRegistry()):
+            net = figure2_network()
+            compile_cpnet(net)
+            compile_cpnet(net)
+            compile_cpnet(net)
+            assert get_registry().counter("cpnet.compile").value == 1
+            add_component_variable(net, "extra", ("on", "off"))
+            compile_cpnet(net)
+            assert get_registry().counter("cpnet.compile").value == 2
+
+    def test_extension_overlay_shares_base_compilation(self):
+        net = figure2_network()
+        base = compile_cpnet(net)
+        ext = ViewerExtension(net, "ines")
+        ext.apply_operation("c2", "segment", "c2_2")
+        overlay = compile_extension(ext)
+        assert overlay.base is base  # §4.2: the base is never duplicated
+        # A viewer-local mutation recompiles only the overlay.
+        ext.add_variable("note", ("shown", "hidden"))
+        ext.add_rule("note", {}, ("shown", "hidden"))
+        overlay2 = compile_extension(ext)
+        assert overlay2 is not overlay
+        assert overlay2.base is base
+
+    def test_extension_overlay_matches_interpreted(self):
+        net = figure2_network()
+        ext = ViewerExtension(net, "ines")
+        ext.apply_operation("c2", "segment", "c2_2")
+        for evidence in ({}, {"c2": "c2_2"}, {"c2.segment": "applied"}):
+            assert dumps(compile_extension(ext).best_completion(evidence)) == dumps(
+                ext.interpreted_best_completion(evidence)
+            )
+
+
+# ----- global switch ----------------------------------------------------------------
+
+
+class TestEngineSwitch:
+    def test_interpreted_mode_restores(self):
+        assert compiled_enabled()
+        with interpreted_mode():
+            assert not compiled_enabled()
+            with interpreted_mode():
+                assert not compiled_enabled()
+            assert not compiled_enabled()
+        assert compiled_enabled()
+
+    def test_extension_best_completion_routes_by_switch(self):
+        net = figure2_network()
+        ext = ViewerExtension(net, "ines")
+        with interpreted_mode():
+            reference = ext.best_completion({})
+        assert not hasattr(ext, "_compiled") or ext._compiled is None
+        compiled = ext.best_completion({})
+        assert dumps(compiled) == dumps(reference)
+
+
+# ----- completion cache -----------------------------------------------------------
+
+
+class TestCompletionCache:
+    def test_hit_miss_accounting(self):
+        with use_registry(MetricsRegistry()):
+            cache = CompletionCache()
+            key = completion_key("doc", 0, (), {"c1": "c1_1"})
+            assert cache.lookup(key) is None
+            cache.store(key, {"c1": "c1_1", "c2": "c2_2"})
+            assert cache.lookup(key) == {"c1": "c1_1", "c2": "c2_2"}
+            assert cache.stats() == {
+                "entries": 1,
+                "hits": 1,
+                "misses": 1,
+                "evictions": 0,
+                "invalidations": 0,
+            }
+            registry = get_registry()
+            assert registry.counter("cpnet.completion_cache.hits").value == 1
+            assert registry.counter("cpnet.completion_cache.misses").value == 1
+            assert registry.gauge("cpnet.completion_cache.size").value == 1
+
+    def test_lookup_returns_copies(self):
+        cache = CompletionCache()
+        key = completion_key("doc", 0, (), {})
+        cache.store(key, {"a": "1"})
+        first = cache.lookup(key)
+        first["a"] = "mutated"  # subtree hiding mutates outcomes in place
+        assert cache.lookup(key) == {"a": "1"}
+
+    def test_lru_eviction(self):
+        cache = CompletionCache(max_entries=2)
+        k1, k2, k3 = (completion_key("doc", 0, (), {"x": str(i)}) for i in range(3))
+        cache.store(k1, {"a": "1"})
+        cache.store(k2, {"a": "2"})
+        cache.lookup(k1)  # k1 is now most-recent
+        cache.store(k3, {"a": "3"})
+        assert cache.lookup(k2) is None  # the LRU entry went
+        assert cache.lookup(k1) is not None
+        assert cache.evictions == 1
+
+    def test_invalidate_per_document(self):
+        cache = CompletionCache()
+        cache.store(completion_key("doc-a", 0, (), {}), {"a": "1"})
+        cache.store(completion_key("doc-a", 0, (), {"x": "1"}), {"a": "2"})
+        cache.store(completion_key("doc-b", 0, (), {}), {"b": "1"})
+        assert cache.invalidate("doc-a") == 2
+        assert len(cache) == 1
+        assert cache.lookup(completion_key("doc-b", 0, (), {})) is not None
+        assert cache.invalidations == 2
+        assert cache.invalidate() == 1  # drop everything
+        assert len(cache) == 0
+
+    def test_version_in_key_isolates_stale_entries(self):
+        net = figure2_network()
+        cache = CompletionCache()
+        old = completion_key("doc", net.structure_version, (), {})
+        cache.store(old, compile_cpnet(net).best_completion({}))
+        apply_operation(net, "c2", "segment", "c2_2")
+        fresh = completion_key("doc", net.structure_version, (), {})
+        assert fresh != old
+        assert cache.lookup(fresh) is None
+
+
+# ----- the headline property: compiled == interpreted, byte for byte ---------------
+
+nets = st.builds(
+    random_dag_network,
+    num_variables=st.integers(min_value=1, max_value=12),
+    domain_size=st.integers(min_value=2, max_value=4),
+    max_parents=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@st.composite
+def net_and_evidence(draw):
+    net = draw(nets)
+    names = list(net.variable_names)
+    chosen = draw(
+        st.lists(st.sampled_from(names), unique=True, max_size=len(names))
+        if names
+        else st.just([])
+    )
+    evidence = {
+        name: draw(st.sampled_from(net.variable(name).domain)) for name in chosen
+    }
+    return net, evidence
+
+
+@given(net_and_evidence())
+@settings(max_examples=60, deadline=None)
+def test_compiled_byte_identical_to_interpreted(net_evidence):
+    net, evidence = net_evidence
+    with interpreted_mode():
+        reference = best_completion(net, evidence)
+    assert dumps(compile_cpnet(net).best_completion(evidence)) == dumps(reference)
+
+
+@given(net_and_evidence(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_compiled_byte_identical_after_update_sequences(net_evidence, seed):
+    """§4.2 update policies between queries: recompilations stay exact."""
+    import random
+
+    net, evidence = net_evidence
+    rng = random.Random(seed)
+    compiled = compile_cpnet(net)  # compile *before* mutating
+    # A short §4.2 sequence: an operation, a component add, a removal.
+    target = rng.choice(net.variable_names)
+    apply_operation(net, target, "zoom", rng.choice(net.variable(target).domain))
+    add_component_variable(net, "added.one", ("on", "off"))
+    net.remove_variable(f"{target}.zoom")
+    assert compiled.stale
+    with interpreted_mode():
+        reference = best_completion(net, evidence)
+    assert dumps(compile_cpnet(net).best_completion(evidence)) == dumps(reference)
+
+
+@given(net_and_evidence(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_compiled_byte_identical_through_extensions(net_evidence, seed):
+    """Viewer overlays: compiled overlay == interpreted extension sweep."""
+    import random
+
+    net, evidence = net_evidence
+    rng = random.Random(seed)
+    ext = ViewerExtension(net, "viewer")
+    target = rng.choice(net.variable_names)
+    ext.apply_operation(target, "crop", rng.choice(net.variable(target).domain))
+    ext.add_variable("local.note", ("shown", "hidden"), parents=(target,))
+    ext.add_rule("local.note", {}, ("hidden", "shown"))
+    reference = ext.interpreted_best_completion(evidence)
+    assert dumps(compile_extension(ext).best_completion(evidence)) == dumps(reference)
+    # ...and with evidence on an extension variable too.
+    evidence2 = {**evidence, f"{target}.crop": "applied"}
+    assert dumps(compile_extension(ext).best_completion(evidence2)) == dumps(
+        ext.interpreted_best_completion(evidence2)
+    )

@@ -77,3 +77,30 @@ class TestCandidates:
             CPNetPredictor(doc, rank_decay=1.0)
         with pytest.raises(ValueError):
             CPNetPredictor(doc, consequence_discount=1.5)
+
+
+class TestCompiledHotPath:
+    def test_one_compile_per_predictor_run(self):
+        """A predictor run performs at most one compile, and reruns zero:
+        the hypothetical sweep shares a single compiled evaluator (with
+        `default_presentation`, which hits the same memo)."""
+        from repro.obs import MetricsRegistry, get_registry, use_registry
+
+        with use_registry(MetricsRegistry()):
+            doc = build_sample_medical_record()
+            predictor = CPNetPredictor(doc)
+            compiles = get_registry().counter("cpnet.compile")
+            outcome = doc.default_presentation()
+            predictor.candidates(outcome)
+            assert compiles.value == 1  # one compile for the whole flow
+            predictor.candidates(outcome)  # memo still valid: no recompile
+            assert compiles.value == 1
+
+    def test_compiled_and_interpreted_agree(self, doc, predictor):
+        from repro.cpnet import interpreted_mode
+
+        outcome = doc.default_presentation()
+        compiled = predictor.candidates(outcome)
+        with interpreted_mode():
+            reference = predictor.candidates(outcome)
+        assert compiled == reference

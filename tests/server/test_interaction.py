@@ -231,6 +231,13 @@ class TestStats:
             "frozen_components": 0,
             "spec_cache_hits": 0,
             "spec_cache_misses": 0,
+            "completion_cache": {
+                "entries": 0,
+                "hits": 0,
+                "misses": 0,
+                "evictions": 0,
+                "invalidations": 0,
+            },
             "triggers": 0,
         }
 
