@@ -28,7 +28,9 @@ share the base compilation — the base is never copied (§4.2: the shared
 network "should not be duplicated").
 
 On top sits :class:`CompletionCache`, a bounded LRU memo of completed
-outcomes keyed by (doc id, structural versions, frozen evidence items).
+outcomes keyed by (doc id, instance-salted version token, overlay token,
+frozen evidence items) — see :func:`completion_key` for why the salts
+matter across re-fetches and viewer rejoins.
 It is designed to live at **shard scope** (one per
 :class:`~repro.server.interaction.InteractionServer`): identical
 constraint sets across viewers, rooms and sessions hit the same entry.
@@ -353,17 +355,27 @@ def compile_extension(extension: Any) -> CompiledExtension:
 
 def completion_key(
     doc_id: str,
-    structure_version: int,
+    version_token: Any,
     overlay: tuple[Any, ...],
     evidence: Assignment,
 ) -> tuple[Any, ...]:
-    """Canonical cache key: (doc, net version, overlay id, frozen evidence).
+    """Canonical cache key: (doc, version token, overlay id, frozen evidence).
+
+    *version_token* must be unique per (network instance, structural
+    version) — callers pass :attr:`CPNet.version_token`, which salts the
+    bare version counter with a process-unique instance id. The salt is
+    load-bearing: ``structure_version`` restarts at 0 when a persisted
+    document is re-fetched into a fresh ``CPNet``, so the bare counter
+    could re-reach an old number with different network content while the
+    shard-scoped cache still holds the old entries.
 
     *overlay* is ``()`` for viewers with an empty extension — which is
     how identical constraint sets across viewers and sessions land on
-    the same entry — and ``(viewer_id, ext_version)`` otherwise.
+    the same entry — and ``(viewer_id, ext_instance_id, ext_version)``
+    otherwise (the instance id keeps a rejoining viewer's fresh extension
+    from re-reaching her discarded one's keys).
     """
-    return (doc_id, structure_version, overlay, tuple(sorted(evidence.items())))
+    return (doc_id, version_token, overlay, tuple(sorted(evidence.items())))
 
 
 class CompletionCache:
@@ -419,10 +431,14 @@ class CompletionCache:
     def invalidate(self, doc_id: str | None = None) -> int:
         """Drop entries for *doc_id* (or everything); returns the count.
 
-        Called by the §4.2 update paths: a structural change already
-        makes old keys unreachable (the version is in the key), so this
-        is the precise reclamation that keeps dead entries from aging
-        out live ones.
+        Called by the §4.2 update paths and when a room closes. Keys are
+        salted with :attr:`CPNet.version_token` (instance id + version),
+        so a structural change — or re-fetching the document into a
+        fresh network — makes old keys unreachable; this call is the
+        eager reclamation that keeps those dead entries from aging out
+        live ones. Do not rely on the bare ``structure_version`` being
+        in the key: it restarts per network instance and is only unique
+        in combination with the instance salt.
         """
         if doc_id is None:
             dropped = len(self._entries)

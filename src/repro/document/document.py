@@ -155,7 +155,7 @@ class MultimediaDocument:
         if self.completion_cache is None:
             return compiled.best_completion(evidence)
         key = completion_key(
-            self.doc_id, self._network.structure_version, (), evidence
+            self.doc_id, self._network.version_token, (), evidence
         )
         cached = self.completion_cache.lookup(key)
         if cached is not None:

@@ -193,9 +193,10 @@ class PresentationEngine:
             from repro.cpnet.updates import apply_operation as apply_global
 
             self._shared_version += 1
-            # §4.2 precise invalidation: the structural version already
-            # orphans every cached completion of this document (it is in
-            # the key); reclaim the dead entries eagerly.
+            # §4.2 precise invalidation: the instance-salted version
+            # token already orphans every cached completion of this
+            # document (it is in the key); reclaim the dead entries
+            # eagerly so they never age out live ones.
             if self.completion_cache is not None:
                 self.completion_cache.invalidate(self.document.doc_id)
             return apply_global(self.document.network, component, operation, active_value)
@@ -212,15 +213,22 @@ class PresentationEngine:
         Viewers with an empty extension key on overlay ``()`` — so two
         members imposing the same constraints hit the same entry — while
         a viewer with her own §4.2 extension keys on
-        ``(viewer_id, extension_version)`` and never pollutes anyone
-        else's lookups.
+        ``(viewer_id, extension_instance_id, extension_version)`` and
+        never pollutes anyone else's lookups. The instance id matters: a
+        viewer who leaves and rejoins gets a *fresh* extension whose
+        version restarts at 0, so version alone could re-reach an old
+        key with different extension content.
         """
         if not compiled_enabled() or self.completion_cache is None:
             return extension.best_completion(evidence)
         net = self.document.network
-        overlay = (viewer_id, extension.extension_version) if extension.size() else ()
+        overlay = (
+            (viewer_id, extension.instance_id, extension.extension_version)
+            if extension.size()
+            else ()
+        )
         key = completion_key(
-            self.document.doc_id, net.structure_version, overlay, evidence
+            self.document.doc_id, net.version_token, overlay, evidence
         )
         cached = self.completion_cache.lookup(key)
         if cached is not None:

@@ -331,6 +331,11 @@ class InteractionServer:
                     )
             del self._rooms[room.room_id]
             del self._rooms_by_doc[room.document.doc_id]
+            # Reclaim the closed document's completion memos: a re-open
+            # fetches a fresh CPNet whose instance-salted version token
+            # can never re-reach these keys, so they are dead weight
+            # that would only age live entries out of the LRU.
+            self.completion_cache.invalidate(room.document.doc_id)
             self._g_rooms.set(len(self._rooms))
             # The room's labelled series die with it: a closed room must
             # leave no live gauge child and no trace-store residue.

@@ -239,12 +239,27 @@ class TestCompletionCache:
     def test_version_in_key_isolates_stale_entries(self):
         net = figure2_network()
         cache = CompletionCache()
-        old = completion_key("doc", net.structure_version, (), {})
+        old = completion_key("doc", net.version_token, (), {})
         cache.store(old, compile_cpnet(net).best_completion({}))
         apply_operation(net, "c2", "segment", "c2_2")
-        fresh = completion_key("doc", net.structure_version, (), {})
+        fresh = completion_key("doc", net.version_token, (), {})
         assert fresh != old
         assert cache.lookup(fresh) is None
+
+    def test_version_token_unique_across_net_instances(self):
+        """Regression: a persisted document re-fetched into a fresh CPNet
+        restarts structure_version at 0 and can re-accumulate the same
+        count with different content, while the shard cache keeps the old
+        entries — the instance salt in version_token keeps the two
+        instances' keys disjoint."""
+        first, second = figure2_network(), figure2_network()
+        assert first.structure_version == second.structure_version
+        assert first.version_token != second.version_token
+        cache = CompletionCache()
+        cache.store(
+            completion_key("doc", first.version_token, (), {}), {"c1": "stale"}
+        )
+        assert cache.lookup(completion_key("doc", second.version_token, (), {})) is None
 
 
 # ----- the headline property: compiled == interpreted, byte for byte ---------------

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.cpnet import CompletionCache
 from repro.document import build_sample_medical_record
 from repro.errors import DocumentError
 from repro.presentation import PresentationEngine, ViewerChoice
@@ -101,6 +102,32 @@ class TestOperations:
     def test_operation_on_unknown_component(self, engine):
         with pytest.raises(DocumentError):
             engine.apply_operation("lee", "no.such", "zoom")
+
+
+class TestSharedCompletionCache:
+    def test_rejoining_viewer_never_hits_discarded_extension_entries(self):
+        """Regression: a viewer who leaves and rejoins gets a *fresh*
+        ViewerExtension whose version counter restarts at 0, while the
+        shard-scoped completion cache outlives the extension. Applying a
+        different operation after the rejoin reproduces the old version
+        number (add_variable + 2 add_rules = 3 either way), so the
+        overlay token must be salted per extension instance or the cache
+        serves the previous extension's outcome."""
+        cache = CompletionCache()
+        engine = PresentationEngine(
+            build_sample_medical_record(), completion_cache=cache
+        )
+        engine.register_viewer("lee")
+        engine.apply_operation("lee", "imaging.ct_head", "segment")
+        first = engine.presentation_for("lee").outcome
+        assert "imaging.ct_head.segment" in first
+
+        engine.unregister_viewer("lee")
+        engine.register_viewer("lee")
+        engine.apply_operation("lee", "imaging.ct_head", "crop")
+        second = engine.presentation_for("lee").outcome
+        assert "imaging.ct_head.crop" in second
+        assert "imaging.ct_head.segment" not in second
 
 
 class TestSpecs:

@@ -113,6 +113,18 @@ class TestRooms:
         with pytest.raises(RoomError, match="not in a room"):
             server.leave_room(session.session_id)
 
+    def test_room_close_reclaims_completion_cache(self, server):
+        """Closing a room drops its document's completion memos: a
+        re-open fetches a fresh CPNet whose instance-salted version token
+        can never re-reach them, so keeping them would only age live
+        entries out of the shard LRU."""
+        session = server.connect_session("lee")
+        server.join_room(session.session_id, "record-17")
+        assert len(server.completion_cache) > 0
+        server.leave_room(session.session_id)
+        assert server.room_ids == ()
+        assert len(server.completion_cache) == 0
+
 
 class TestPropagation:
     def test_choice_returns_diffs_per_member(self, server):
